@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablations of LT-cords design choices the paper fixes by argument:
+ *
+ *  - fragment size (Section 5.4: minimal sensitivity up to 8K),
+ *  - head-signature lookahead (Section 4.2: "several hundred"),
+ *  - sliding-window depth (Section 5.2: must cover ~1K reordering),
+ *  - confidence initialisation (Section 4.4: init to 2 to expedite
+ *    training).
+ */
+
+#include "bench/bench_common.hh"
+#include "core/ltcords.hh"
+#include "sim/experiment.hh"
+#include "sim/trace_engine.hh"
+
+using namespace ltc;
+
+namespace
+{
+
+double
+coverageWith(const std::string &workload, const LtcordsConfig &cfg)
+{
+    LtCords ltc(cfg);
+    auto src = makeWorkload(workload);
+    auto s = runWithOpportunity(paperHierarchy(), &ltc, *src,
+                                benchRefs(workload, 2'000'000));
+    return s.coverage();
+}
+
+const std::vector<std::string> &
+ablationWorkloads()
+{
+    static const std::vector<std::string> names =
+        benchWorkloads({"swim", "mcf", "em3d", "facerec"});
+    return names;
+}
+
+template <typename Setter>
+void
+sweep(const char *title, const char *column,
+      const std::vector<std::uint32_t> &values, Setter setter)
+{
+    Table table(title);
+    std::vector<std::string> header = {column};
+    for (const auto &name : ablationWorkloads())
+        header.push_back(name);
+    table.setHeader(header);
+    for (const std::uint32_t v : values) {
+        std::vector<std::string> row = {std::to_string(v)};
+        for (const auto &name : ablationWorkloads()) {
+            LtcordsConfig cfg = paperLtcords(paperHierarchy());
+            setter(cfg, v);
+            row.push_back(Table::pct(coverageWith(name, cfg), 0));
+        }
+        table.addRow(row);
+    }
+    emitTable(table);
+}
+
+} // namespace
+
+int
+main()
+{
+    sweep("Ablation: fragment size (signatures per frame)",
+          "fragment", {256, 512, 1024, 2048, 4096},
+          [](LtcordsConfig &c, std::uint32_t v) {
+              c.fragmentSignatures = v;
+          });
+
+    sweep("Ablation: head-signature lookahead (signatures)",
+          "lookahead", {0, 64, 256, 512, 1024},
+          [](LtcordsConfig &c, std::uint32_t v) {
+              c.headLookahead = v;
+          });
+
+    sweep("Ablation: sliding-window depth (signatures)", "window",
+          {64, 256, 1024, 4096},
+          [](LtcordsConfig &c, std::uint32_t v) { c.windowAhead = v; });
+
+    sweep("Ablation: confidence counter initialisation", "conf init",
+          {0, 1, 2, 3},
+          [](LtcordsConfig &c, std::uint32_t v) {
+              c.confidenceInit = static_cast<std::uint8_t>(v);
+          });
+
+    sweep("Ablation: signature cache associativity", "assoc",
+          {1, 2, 4, 8},
+          [](LtcordsConfig &c, std::uint32_t v) {
+              c.sigCacheAssoc = v;
+          });
+    return 0;
+}

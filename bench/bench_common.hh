@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or
+ * figures. Common knobs (environment variables):
+ *
+ *   LTC_WORKLOADS  comma-separated names, "all", or "quick"
+ *                  (sensitivity sweeps default to a representative
+ *                  subset to keep runtimes in seconds; set "all" to
+ *                  reproduce with the full suite)
+ *   LTC_REFS       reference budget override (suffixes k/m/g)
+ */
+
+#ifndef LTC_BENCH_BENCH_COMMON_HH
+#define LTC_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "trace/workloads.hh"
+#include "util/table.hh"
+
+namespace ltc
+{
+
+/** Per-workload reference budget, capped for sweep-style benches. */
+inline std::uint64_t
+benchRefs(const std::string &workload,
+          std::uint64_t cap = 4'000'000)
+{
+    const std::uint64_t suggested = suggestedRefs(workload);
+    return refBudget(std::min(suggested, cap));
+}
+
+/**
+ * Workload selection for a bench: LTC_WORKLOADS wins; otherwise the
+ * bench's own default list ("all" = full catalogue).
+ */
+inline std::vector<std::string>
+benchWorkloads(const std::vector<std::string> &fallback)
+{
+    if (std::getenv("LTC_WORKLOADS"))
+        return selectedWorkloads();
+    if (fallback.size() == 1 && fallback[0] == "all")
+        return workloadNames();
+    return fallback;
+}
+
+/** Emit a table in both human and CSV form. */
+inline void
+emitTable(const Table &table)
+{
+    std::fputs(table.render().c_str(), stdout);
+    std::fputs("\n[csv]\n", stdout);
+    std::fputs(table.csv().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+} // namespace ltc
+
+#endif // LTC_BENCH_BENCH_COMMON_HH

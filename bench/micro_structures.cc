@@ -1,0 +1,174 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hardware-structure models:
+ * per-operation cost of the signature cache, history table, L1D
+ * model, DBCP table, GHB and the full LT-cords observe path. These
+ * bound the simulator's own throughput (host ns/op, not simulated
+ * cycles).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "core/ltcords.hh"
+#include "core/signature_cache.hh"
+#include "pred/dbcp.hh"
+#include "pred/ghb.hh"
+#include "pred/history_table.hh"
+#include "sim/experiment.hh"
+#include "sim/trace_engine.hh"
+#include "trace/workloads.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace ltc;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig::l1d());
+    Rng rng(1);
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 64 * 7) & ((1 << 24) - 1);
+        benchmark::DoNotOptimize(cache.access(addr, MemOp::Load));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SignatureCacheLookup(benchmark::State &state)
+{
+    SignatureCache sc(32 * 1024, 2);
+    Rng rng(2);
+    for (int i = 0; i < 16 * 1024; i++) {
+        SigCacheEntry e;
+        e.key = rng.next();
+        sc.insert(e);
+    }
+    std::uint64_t key = 12345;
+    for (auto _ : state) {
+        key = mix64(key);
+        benchmark::DoNotOptimize(sc.lookup(key));
+    }
+}
+BENCHMARK(BM_SignatureCacheLookup);
+
+void
+BM_SignatureCacheInsert(benchmark::State &state)
+{
+    SignatureCache sc(32 * 1024, 2);
+    std::uint64_t key = 1;
+    for (auto _ : state) {
+        key = mix64(key);
+        SigCacheEntry e;
+        e.key = key;
+        sc.insert(e);
+    }
+}
+BENCHMARK(BM_SignatureCacheInsert);
+
+void
+BM_HistoryTableUpdate(benchmark::State &state)
+{
+    HistoryTable ht(512, 64);
+    std::uint32_t set = 0;
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        set = (set + 1) & 511;
+        pc += 4;
+        ht.recordAccess(set, pc);
+        benchmark::DoNotOptimize(ht.signatureKey(set));
+    }
+}
+BENCHMARK(BM_HistoryTableUpdate);
+
+void
+BM_DbcpObserve(benchmark::State &state)
+{
+    DbcpConfig cfg;
+    cfg.tableEntries = DbcpConfig::entriesForBytes(1024 * 1024);
+    Dbcp dbcp(cfg);
+    CacheHierarchy hier(HierarchyConfig{});
+    Addr addr = 0x10000000;
+    MemRef ref;
+    ref.pc = 0x1000;
+    for (auto _ : state) {
+        addr += 64;
+        ref.addr = addr;
+        const HierOutcome out = hier.access(addr, MemOp::Load);
+        dbcp.observe(ref, out);
+        dbcp.drainRequests();
+    }
+}
+BENCHMARK(BM_DbcpObserve);
+
+void
+BM_GhbObserve(benchmark::State &state)
+{
+    Ghb ghb(GhbConfig{});
+    MemRef ref;
+    ref.pc = 0x1000;
+    HierOutcome out;
+    out.level = HitLevel::Memory;
+    Addr addr = 0x10000000;
+    for (auto _ : state) {
+        addr += 64;
+        ref.addr = addr;
+        ghb.observe(ref, out);
+        ghb.drainRequests();
+    }
+}
+BENCHMARK(BM_GhbObserve);
+
+void
+BM_LtCordsObservePath(benchmark::State &state)
+{
+    LtCords ltc(paperLtcords(HierarchyConfig{}));
+    CacheHierarchy hier(HierarchyConfig{});
+    Addr addr = 0x10000000;
+    MemRef ref;
+    ref.pc = 0x1000;
+    for (auto _ : state) {
+        addr += 64;
+        if (addr > 0x10000000 + (4 << 20))
+            addr = 0x10000000; // loop a 4MB footprint
+        ref.addr = addr;
+        const HierOutcome out = hier.access(addr, MemOp::Load);
+        ltc.observe(ref, out);
+        ltc.drainRequests();
+    }
+}
+BENCHMARK(BM_LtCordsObservePath);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto src = makeWorkload("mcf");
+    MemRef ref;
+    for (auto _ : state) {
+        src->next(ref);
+        benchmark::DoNotOptimize(ref);
+    }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_TraceEngineStep(benchmark::State &state)
+{
+    auto pred = makePredictor("lt-cords", paperHierarchy());
+    TraceEngine engine(paperHierarchy(), pred.get());
+    auto src = makeWorkload("swim");
+    MemRef ref;
+    for (auto _ : state) {
+        src->next(ref);
+        engine.step(ref);
+    }
+}
+BENCHMARK(BM_TraceEngineStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 2: benchmarks, base miss rates and IPCs.
+ *
+ * For every workload, the baseline (no predictor) L1D miss rate, L2
+ * miss rate (fraction of L2 accesses missing) and IPC of the Table 1
+ * machine.
+ */
+
+#include "bench/bench_common.hh"
+#include "sim/experiment.hh"
+#include "sim/timing_engine.hh"
+
+using namespace ltc;
+
+int
+main()
+{
+    Table table("Table 2: baseline L1/L2 miss rates and IPC");
+    table.setHeader({"benchmark", "suite", "L1 miss %", "L2 miss %",
+                     "IPC"});
+
+    for (const auto &name : benchWorkloads({"all"})) {
+        const auto &info = workloadInfo(name);
+        TimingConfig cfg = paperTiming();
+        TimingSim sim(cfg, nullptr);
+        auto src = makeWorkload(name);
+        sim.run(*src, benchRefs(name, 2'000'000));
+        const TimingStats s = sim.stats();
+        const double l1 = s.accesses
+            ? 100.0 * static_cast<double>(s.l1Misses) /
+                static_cast<double>(s.accesses)
+            : 0.0;
+        const double l2 = s.l1Misses
+            ? 100.0 * static_cast<double>(s.l2Misses) /
+                static_cast<double>(s.l1Misses)
+            : 0.0;
+        table.addRow({name, suiteName(info.suite), Table::num(l1, 0),
+                      Table::num(l2, 0), Table::num(s.ipc, 2)});
+    }
+    emitTable(table);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Multi-programmed execution (Section 5.5): two applications
+ * alternate in scheduling quanta over shared LT-cords structures,
+ * with disjoint physical address ranges. Shows per-application
+ * coverage standalone vs co-scheduled.
+ *
+ *   $ ./multiprogram [appA] [appB]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/multiprog.hh"
+#include "trace/workloads.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ltc;
+
+    const std::string app_a = argc > 1 ? argv[1] : "mcf";
+    const std::string app_b = argc > 2 ? argv[2] : "swim";
+
+    // Standalone references.
+    auto standalone = [](const std::string &name) {
+        auto pred = makePredictor("lt-cords", paperHierarchy());
+        auto src = makeWorkload(name);
+        auto s = runWithOpportunity(paperHierarchy(), pred.get(), *src,
+                                    suggestedRefs(name));
+        return s.coverage();
+    };
+    std::printf("standalone coverage: %s %.1f%%, %s %.1f%%\n",
+                app_a.c_str(), 100.0 * standalone(app_a),
+                app_b.c_str(), 100.0 * standalone(app_b));
+
+    // Co-scheduled: 60 context switches, predictor state persists,
+    // address spaces shifted apart.
+    MultiProgConfig cfg;
+    cfg.quantumRefs = {workloadInfo(app_a).refsPerIteration / 4,
+                       workloadInfo(app_b).refsPerIteration / 4};
+    cfg.switches = 60;
+    auto pred = makePredictor("lt-cords", paperHierarchy());
+    std::vector<std::unique_ptr<TraceSource>> apps;
+    apps.push_back(makeWorkload(app_a));
+    apps.push_back(makeWorkload(app_b, /*seed=*/2));
+    auto stats = runMultiProg(cfg, pred.get(), std::move(apps));
+
+    std::printf("co-scheduled (60 switches, shared predictor):\n");
+    std::printf("  %-9s coverage %.1f%% (opportunity %llu)\n",
+                app_a.c_str(), 100.0 * stats[0].coverage(),
+                static_cast<unsigned long long>(stats[0].opportunity));
+    std::printf("  %-9s coverage %.1f%% (opportunity %llu)\n",
+                app_b.c_str(), 100.0 * stats[1].coverage(),
+                static_cast<unsigned long long>(stats[1].opportunity));
+
+    std::printf("\nAs long as predictor state persists across context"
+                " switches and the off-chip sequence storage fits both"
+                " programs, coverage is close to standalone"
+                " (Section 5.5).\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The paper's motivating scenario: a pointer-chasing workload whose
+ * dependent misses the out-of-order core cannot overlap. Compares
+ * baseline, GHB PC/DC (delta correlation — helpless on irregular
+ * pointers), LT-cords, and a perfect L1D on the cycle engine.
+ *
+ *   $ ./pointer_chase_speedup [nodes]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+#include "sim/timing_engine.hh"
+#include "trace/primitives.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ltc;
+
+    const std::uint64_t nodes =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (96 << 10);
+
+    auto make_chase = [nodes] {
+        PointerChaseParams p;
+        p.base = 0x10000000;
+        p.nodes = nodes;          // one cache block per node
+        p.accessesPerNode = 2;    // pointer + payload word
+        p.nonMemGap = 3;
+        p.seed = 1;
+        return std::make_unique<PointerChaseSource>(p, "listwalk");
+    };
+    const std::uint64_t refs = 6 * nodes * 2;
+
+    std::printf("linked-list walk over %llu nodes (%.1f MB footprint),"
+                " %llu refs\n\n",
+                static_cast<unsigned long long>(nodes),
+                static_cast<double>(nodes) * 64.0 / (1 << 20),
+                static_cast<unsigned long long>(refs));
+
+    double base_ipc = 0.0;
+    struct Row
+    {
+        const char *label;
+        const char *pred;
+        bool perfect;
+    };
+    for (const Row row : {Row{"baseline", "none", false},
+                          Row{"ghb pc/dc", "ghb", false},
+                          Row{"lt-cords", "lt-cords", false},
+                          Row{"perfect L1D", "none", true}}) {
+        TimingConfig cfg = paperTiming();
+        if (row.perfect)
+            cfg.hier = perfectL1Hierarchy();
+        auto pred = makePredictor(row.pred, cfg.hier,
+                                  /*model_stream_latency=*/true);
+        TimingSim sim(cfg, pred.get());
+        auto src = make_chase();
+        sim.run(*src, refs);
+        const TimingStats s = sim.stats();
+        if (base_ipc == 0.0)
+            base_ipc = s.ipc;
+        std::printf("%-12s ipc=%6.3f  speedup=%+6.1f%%  misses=%llu"
+                    "  covered=%llu\n",
+                    row.label, s.ipc,
+                    100.0 * (s.ipc / base_ipc - 1.0),
+                    static_cast<unsigned long long>(s.l1Misses),
+                    static_cast<unsigned long long>(s.correct));
+    }
+
+    std::printf("\nLT-cords turns the serial miss chain into "
+                "prefetched hits; delta correlation finds no pattern "
+                "in the shuffled pointers (Section 5.7).\n");
+    return 0;
+}

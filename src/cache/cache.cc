@@ -1,0 +1,198 @@
+#include "cache/cache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    config_.validate();
+    lineBits_ = exactLog2(config_.lineBytes);
+    setMask_ = config_.numSets() - 1;
+    lines_.resize(config_.numLines());
+}
+
+Cache::Line *
+Cache::findLine(Addr block_addr)
+{
+    const std::uint32_t set = setIndex(block_addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; w++) {
+        if (base[w].valid && base[w].blockAddr == block_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr block_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(block_addr);
+}
+
+std::uint32_t
+Cache::victimWay(std::uint32_t set)
+{
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < config_.assoc; w++) {
+        if (!base[w].valid)
+            return w;
+    }
+    switch (config_.policy) {
+      case ReplPolicy::LRU: {
+        std::uint32_t victim = 0;
+        for (std::uint32_t w = 1; w < config_.assoc; w++) {
+            if (base[w].lastUse < base[victim].lastUse)
+                victim = w;
+        }
+        return victim;
+      }
+      case ReplPolicy::FIFO: {
+        std::uint32_t victim = 0;
+        for (std::uint32_t w = 1; w < config_.assoc; w++) {
+            if (base[w].fillTime < base[victim].fillTime)
+                victim = w;
+        }
+        return victim;
+      }
+      case ReplPolicy::Random:
+        return static_cast<std::uint32_t>(rng_.below(config_.assoc));
+    }
+    ltc_panic("unreachable replacement policy");
+}
+
+CacheOutcome
+Cache::insert(Addr block_addr, std::uint32_t way, bool by_prefetch,
+              bool mark_prefetched)
+{
+    const std::uint32_t set = setIndex(block_addr);
+    Line &line =
+        lines_[static_cast<std::size_t>(set) * config_.assoc + way];
+
+    CacheOutcome out;
+    out.set = set;
+    if (line.valid) {
+        out.evicted = true;
+        out.victimAddr = line.blockAddr;
+        evictions_++;
+        if (listener_) {
+            listener_->onEviction(line.blockAddr, block_addr, set,
+                                  by_prefetch, line.prefetched);
+        }
+    }
+    line.blockAddr = block_addr;
+    line.valid = true;
+    line.dirty = false;
+    line.prefetched = mark_prefetched;
+    line.lastUse = ++stamp_;
+    line.fillTime = stamp_;
+    return out;
+}
+
+CacheOutcome
+Cache::access(Addr addr, MemOp op)
+{
+    const Addr block = blockAlign(addr);
+    accesses_++;
+
+    if (Line *line = findLine(block)) {
+        line->lastUse = ++stamp_;
+        CacheOutcome out;
+        out.hit = true;
+        out.hitUntouchedPrefetch = line->prefetched;
+        out.set = setIndex(block);
+        line->prefetched = false;
+        if (op == MemOp::Store)
+            line->dirty = true;
+        return out;
+    }
+
+    misses_++;
+    const std::uint32_t set = setIndex(block);
+    CacheOutcome out = insert(block, victimWay(set), false, false);
+    if (op == MemOp::Store) {
+        Line *line = findLine(block);
+        line->dirty = true;
+    }
+    return out;
+}
+
+CacheOutcome
+Cache::fillReplacing(Addr addr, Addr predicted_victim)
+{
+    const Addr block = blockAlign(addr);
+    if (findLine(block)) {
+        CacheOutcome out;
+        out.hit = true;
+        out.set = setIndex(block);
+        return out;
+    }
+    prefetchFills_++;
+    const std::uint32_t set = setIndex(block);
+
+    const Addr victim_block = blockAlign(predicted_victim);
+    if (setIndex(victim_block) == set) {
+        Line *base =
+            &lines_[static_cast<std::size_t>(set) * config_.assoc];
+        for (std::uint32_t w = 0; w < config_.assoc; w++) {
+            if (base[w].valid && base[w].blockAddr == victim_block)
+                return insert(block, w, true, true);
+        }
+    }
+    return insert(block, victimWay(set), true, true);
+}
+
+CacheOutcome
+Cache::fill(Addr addr, bool mark_prefetched)
+{
+    const Addr block = blockAlign(addr);
+    if (findLine(block)) {
+        CacheOutcome out;
+        out.hit = true;
+        out.set = setIndex(block);
+        return out;
+    }
+    prefetchFills_++;
+    const std::uint32_t set = setIndex(block);
+    return insert(block, victimWay(set), true, mark_prefetched);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(blockAlign(addr)) != nullptr;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(blockAlign(addr))) {
+        line->valid = false;
+        line->blockAddr = invalidAddr;
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_) {
+        line.valid = false;
+        line.blockAddr = invalidAddr;
+        line.dirty = false;
+        line.prefetched = false;
+    }
+}
+
+bool
+Cache::isUntouchedPrefetch(Addr addr) const
+{
+    const Line *line = findLine(blockAlign(addr));
+    return line && line->prefetched;
+}
+
+} // namespace ltc

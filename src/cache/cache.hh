@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Functional set-associative cache model.
+ *
+ * This is the substrate under every predictor study: it exposes the
+ * victim of each replacement (the raw material of last-touch
+ * signatures), supports prefetch fills that replace a *predicted*
+ * dead block rather than the replacement-policy victim (how DBCP and
+ * LT-cords place data directly into L1D without pollution, Section 2),
+ * and notifies an optional listener of every eviction.
+ */
+
+#ifndef LTC_CACHE_CACHE_HH
+#define LTC_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace ltc
+{
+
+/** Observer of cache events (used by analyses and predictors). */
+class CacheListener
+{
+  public:
+    virtual ~CacheListener() = default;
+
+    /**
+     * A valid block was evicted.
+     * @param victim_addr   Block-aligned address of the evicted block.
+     * @param incoming_addr Block-aligned address that replaces it.
+     * @param set           Set index.
+     * @param by_prefetch   True when the fill was a prefetch.
+     * @param victim_was_untouched_prefetch True when the victim had
+     *        been prefetched and never referenced by demand (a
+     *        useless prefetch).
+     */
+    virtual void onEviction(Addr victim_addr, Addr incoming_addr,
+                            std::uint32_t set, bool by_prefetch,
+                            bool victim_was_untouched_prefetch) = 0;
+};
+
+/** Result of one cache access or fill. */
+struct CacheOutcome
+{
+    bool hit = false;
+    /** The hit consumed a prefetched, never-yet-referenced block. */
+    bool hitUntouchedPrefetch = false;
+    /** A valid block was evicted by this access. */
+    bool evicted = false;
+    /** Block-aligned address of the evicted block (if evicted). */
+    Addr victimAddr = invalidAddr;
+    /** Set index touched by the access. */
+    std::uint32_t set = 0;
+};
+
+/**
+ * Set-associative cache with pluggable replacement. Tags are stored
+ * as full block addresses; data are not modelled (trace-driven).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Demand access: on a miss the block is filled, evicting the
+     * replacement-policy victim.
+     */
+    CacheOutcome access(Addr addr, MemOp op);
+
+    /**
+     * Prefetch fill that replaces @p predicted_victim if that block is
+     * resident in the target set; otherwise the policy victim is
+     * evicted. Filling an already-resident block is a no-op (reported
+     * as hit).
+     */
+    CacheOutcome fillReplacing(Addr addr, Addr predicted_victim);
+
+    /**
+     * Prefetch fill using the normal replacement victim.
+     * @param mark_prefetched Track the line as an untouched prefetch
+     *        (usefulness accounting). Pass false when this cache is
+     *        only a waypoint and another level tracks usefulness
+     *        (e.g. the L2 install of an L1-directed prefetch).
+     */
+    CacheOutcome fill(Addr addr, bool mark_prefetched = true);
+
+    /** Non-mutating residence check. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate @p addr if resident; returns true if it was. */
+    bool invalidate(Addr addr);
+
+    /** Invalidate everything (context loss experiments). */
+    void flush();
+
+    /** True if the block was brought in by a prefetch and not yet
+     *  referenced by demand. */
+    bool isUntouchedPrefetch(Addr addr) const;
+
+    void setListener(CacheListener *listener) { listener_ = listener; }
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Block-aligned address for @p addr under this cache's geometry. */
+    Addr blockAlign(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(config_.lineBytes - 1);
+    }
+
+    /** Set index for @p addr. */
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>((addr >> lineBits_) & setMask_);
+    }
+
+    // Occupancy statistics.
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t prefetchFills() const { return prefetchFills_; }
+    double
+    missRate() const
+    {
+        return accesses_ ? static_cast<double>(misses_) /
+                static_cast<double>(accesses_)
+                         : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        Addr blockAddr = invalidAddr;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;   //!< filled by prefetch, not yet used
+        std::uint64_t lastUse = 0; //!< LRU stamp
+        std::uint64_t fillTime = 0; //!< FIFO stamp
+    };
+
+    Line *findLine(Addr block_addr);
+    const Line *findLine(Addr block_addr) const;
+    std::uint32_t victimWay(std::uint32_t set);
+    CacheOutcome insert(Addr block_addr, std::uint32_t way,
+                        bool by_prefetch, bool mark_prefetched);
+
+    CacheConfig config_;
+    unsigned lineBits_;
+    std::uint64_t setMask_;
+    std::vector<Line> lines_; //!< sets x ways, row-major
+    std::uint64_t stamp_ = 0;
+    Rng rng_{12345};
+    CacheListener *listener_ = nullptr;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t prefetchFills_ = 0;
+};
+
+} // namespace ltc
+
+#endif // LTC_CACHE_CACHE_HH

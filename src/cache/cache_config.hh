@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cache geometry and latency configuration (Table 1 of the paper).
+ */
+
+#ifndef LTC_CACHE_CACHE_CONFIG_HH
+#define LTC_CACHE_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace ltc
+{
+
+/** Replacement policy selector for a cache instance. */
+enum class ReplPolicy
+{
+    LRU,
+    FIFO,
+    Random,
+};
+
+const char *replPolicyName(ReplPolicy policy);
+
+/** Geometry and access latency for one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    std::uint32_t assoc = 2;
+    std::uint32_t lineBytes = 64;
+    Cycle latency = 2;
+    ReplPolicy policy = ReplPolicy::LRU;
+
+    std::uint64_t numLines() const { return sizeBytes / lineBytes; }
+    std::uint64_t numSets() const { return numLines() / assoc; }
+
+    /** Panics if the geometry is not a valid power-of-two layout. */
+    void validate() const;
+
+    /** 64KB 2-way 64B 2-cycle L1D (Table 1). */
+    static CacheConfig l1d();
+    /** 64KB 4-way 64B 2-cycle L1I (Table 1). */
+    static CacheConfig l1i();
+    /** 1MB 8-way 64B 20-cycle unified L2 (Table 1). */
+    static CacheConfig l2();
+};
+
+} // namespace ltc
+
+#endif // LTC_CACHE_CACHE_CONFIG_HH

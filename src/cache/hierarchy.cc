@@ -1,0 +1,101 @@
+#include "cache/hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+const char *
+hitLevelName(HitLevel level)
+{
+    switch (level) {
+      case HitLevel::L1:
+        return "L1";
+      case HitLevel::L2:
+        return "L2";
+      case HitLevel::Memory:
+        return "memory";
+    }
+    return "?";
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : config_(config), l1d_(config.l1d), l2_(config.l2)
+{
+    if (config_.l1d.lineBytes != config_.l2.lineBytes) {
+        ltc_fatal("hierarchy requires equal L1/L2 line sizes, got ",
+                  config_.l1d.lineBytes, " and ", config_.l2.lineBytes);
+    }
+}
+
+HierOutcome
+CacheHierarchy::access(Addr addr, MemOp op)
+{
+    accesses_++;
+    HierOutcome out;
+
+    if (config_.perfectL1) {
+        out.level = HitLevel::L1;
+        return out;
+    }
+
+    const CacheOutcome l1 = l1d_.access(addr, op);
+    out.l1Set = l1.set;
+    if (l1.hit) {
+        out.level = HitLevel::L1;
+        out.l1HitOnPrefetch = l1.hitUntouchedPrefetch;
+        return out;
+    }
+
+    out.l1Evicted = l1.evicted;
+    out.l1VictimAddr = l1.victimAddr;
+    l1Misses_++;
+
+    const CacheOutcome l2 = l2_.access(addr, op);
+    if (l2.hit) {
+        out.level = HitLevel::L2;
+        out.l2HitOnPrefetch = l2.hitUntouchedPrefetch;
+        return out;
+    }
+
+    l2Misses_++;
+    out.level = HitLevel::Memory;
+    return out;
+}
+
+PrefetchOutcome
+CacheHierarchy::prefetch(Addr addr, Addr predicted_victim)
+{
+    PrefetchOutcome out;
+    if (config_.perfectL1) {
+        out.alreadyInL1 = true;
+        return out;
+    }
+    if (l1d_.probe(addr)) {
+        out.alreadyInL1 = true;
+        return out;
+    }
+
+    // Data passes through (and installs into) L2 on its way in; a
+    // resident L2 copy makes the prefetch an on-chip transfer.
+    out.l2Hit = l2_.probe(addr);
+    if (!out.l2Hit) {
+        // Waypoint install: the L1 copy tracks usefulness, so the L2
+        // line must not be flagged as an untouched prefetch.
+        l2_.fill(addr, /*mark_prefetched=*/false);
+    }
+
+    const CacheOutcome l1 = l1d_.fillReplacing(addr, predicted_victim);
+    out.l1Evicted = l1.evicted;
+    out.l1VictimAddr = l1.victimAddr;
+    return out;
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1d_.flush();
+    l2_.flush();
+}
+
+} // namespace ltc

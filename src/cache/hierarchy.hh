@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Two-level cache hierarchy (functional).
+ *
+ * L1D backed by a unified L2 backed by memory (Table 1 geometry by
+ * default). The hierarchy reports, for every demand access, where the
+ * data came from and what the L1D replacement evicted — the inputs
+ * the last-touch predictors consume. Prefetches install into both
+ * levels (data returning from memory passes through L2) and into L1D
+ * by replacing the predicted dead block.
+ */
+
+#ifndef LTC_CACHE_HIERARCHY_HH
+#define LTC_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "cache/cache_config.hh"
+#include "util/types.hh"
+
+namespace ltc
+{
+
+/** Configuration for the two-level hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1d = CacheConfig::l1d();
+    CacheConfig l2 = CacheConfig::l2();
+    /**
+     * Perfect L1D: every access hits (the paper's upper-bound
+     * configuration in Table 3).
+     */
+    bool perfectL1 = false;
+};
+
+/** Where a demand access was satisfied. */
+enum class HitLevel
+{
+    L1,
+    L2,
+    Memory,
+};
+
+const char *hitLevelName(HitLevel level);
+
+/** Result of one demand access through the hierarchy. */
+struct HierOutcome
+{
+    HitLevel level = HitLevel::L1;
+    /** The L1 hit consumed an untouched prefetched block. */
+    bool l1HitOnPrefetch = false;
+    /** The L2 hit consumed an untouched prefetched block. */
+    bool l2HitOnPrefetch = false;
+    /** L1D eviction caused by this access (fodder for last touches). */
+    bool l1Evicted = false;
+    Addr l1VictimAddr = invalidAddr;
+    std::uint32_t l1Set = 0;
+    bool l1Hit() const { return level == HitLevel::L1; }
+};
+
+/** Result of a prefetch insertion. */
+struct PrefetchOutcome
+{
+    /** Block already resident in L1D: the prefetch was useless. */
+    bool alreadyInL1 = false;
+    /** Data found in L2 (fill is cheap); otherwise fetched off chip. */
+    bool l2Hit = false;
+    /** L1D eviction caused by the fill. */
+    bool l1Evicted = false;
+    Addr l1VictimAddr = invalidAddr;
+};
+
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &config);
+
+    /** Demand access from the core. */
+    HierOutcome access(Addr addr, MemOp op);
+
+    /**
+     * Prefetch @p addr into L1D replacing @p predicted_victim, and
+     * install into L2 on the way.
+     */
+    PrefetchOutcome prefetch(Addr addr, Addr predicted_victim);
+
+    /** Drop all cached state (used to model loss of cache contents). */
+    void flush();
+
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const HierarchyConfig &config() const { return config_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t l1Misses() const { return l1Misses_; }
+    std::uint64_t l2Misses() const { return l2Misses_; }
+
+  private:
+    HierarchyConfig config_;
+    Cache l1d_;
+    Cache l2_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t l1Misses_ = 0;
+    std::uint64_t l2Misses_ = 0;
+};
+
+} // namespace ltc
+
+#endif // LTC_CACHE_HIERARCHY_HH

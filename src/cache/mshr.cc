@@ -1,0 +1,61 @@
+#include "cache/mshr.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+MshrFile::MshrFile(std::uint32_t capacity) : capacity_(capacity)
+{
+    ltc_assert(capacity_ > 0, "MshrFile needs at least one register");
+    entries_.reserve(capacity_);
+}
+
+Cycle
+MshrFile::allocReadyAt(Cycle now) const
+{
+    if (entries_.size() < capacity_)
+        return now;
+    Cycle earliest = entries_.front().completion;
+    for (const Entry &e : entries_)
+        earliest = std::min(earliest, e.completion);
+    return std::max(now, earliest);
+}
+
+void
+MshrFile::allocate(Addr block_addr, Cycle start, Cycle completion)
+{
+    // Entries completing at or before the allocation time are free.
+    retire(start);
+    ltc_assert(entries_.size() < capacity_,
+               "MSHR allocate with full file; consult allocReadyAt");
+    entries_.push_back({block_addr, completion});
+    peak_ = std::max<std::uint32_t>(
+        peak_, static_cast<std::uint32_t>(entries_.size()));
+}
+
+std::optional<Cycle>
+MshrFile::lookup(Addr block_addr) const
+{
+    for (const Entry &e : entries_)
+        if (e.blockAddr == block_addr)
+            return e.completion;
+    return std::nullopt;
+}
+
+void
+MshrFile::retire(Cycle now)
+{
+    std::erase_if(entries_,
+                  [now](const Entry &e) { return e.completion <= now; });
+}
+
+void
+MshrFile::clear()
+{
+    entries_.clear();
+}
+
+} // namespace ltc

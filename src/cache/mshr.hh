@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Miss Status Holding Register file.
+ *
+ * Models the contention the paper calls out ("We extend SimpleScalar
+ * to model MSHR contention and queuing accurately"): a miss needs a
+ * free MSHR to issue; a miss to a block that is already outstanding
+ * merges with the existing entry (and completes with it).
+ */
+
+#ifndef LTC_CACHE_MSHR_HH
+#define LTC_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace ltc
+{
+
+/** Fixed-capacity file of outstanding misses with completion times. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::uint32_t capacity);
+
+    /**
+     * Earliest cycle >= @p now at which a new miss can allocate an
+     * entry (i.e. when a register frees up if the file is full).
+     */
+    Cycle allocReadyAt(Cycle now) const;
+
+    /**
+     * Allocate an entry for @p block_addr completing at @p completion.
+     * The caller must have consulted allocReadyAt (panics when full).
+     */
+    void allocate(Addr block_addr, Cycle start, Cycle completion);
+
+    /** Completion time of an outstanding miss to @p block_addr. */
+    std::optional<Cycle> lookup(Addr block_addr) const;
+
+    /** Release entries whose completion time is <= @p now. */
+    void retire(Cycle now);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t outstanding() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+
+    /** Number of allocations that merged with an existing entry. */
+    std::uint64_t merges() const { return merges_; }
+    /** Count one merged access (bookkeeping by the engine). */
+    void noteMerge() { merges_++; }
+
+    /** Peak simultaneous occupancy observed. */
+    std::uint32_t peakOccupancy() const { return peak_; }
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Addr blockAddr;
+        Cycle completion;
+    };
+
+    std::uint32_t capacity_;
+    std::vector<Entry> entries_;
+    std::uint64_t merges_ = 0;
+    std::uint32_t peak_ = 0;
+};
+
+} // namespace ltc
+
+#endif // LTC_CACHE_MSHR_HH

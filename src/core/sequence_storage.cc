@@ -1,0 +1,179 @@
+#include "core/sequence_storage.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+SequenceStorage::SequenceStorage(const LtcordsConfig &config)
+    : config_(config)
+{
+    ltc_assert(isPowerOf2(config_.numFrames),
+               "frame count must be a power of two, got ",
+               config_.numFrames);
+    ltc_assert(config_.fragmentSignatures > 0,
+               "fragments must hold at least one signature");
+    frames_.resize(config_.numFrames);
+    recentKeys_.assign(std::max<std::uint32_t>(1, config_.headLookahead),
+                       0);
+}
+
+void
+SequenceStorage::beginFragment(std::uint64_t incoming_key)
+{
+    // The head is the signature recorded `headLookahead` positions
+    // ago; before enough history exists, the incoming signature
+    // itself serves as head (zero lookahead for the very first
+    // fragment).
+    std::uint64_t head = incoming_key;
+    if (recordedTotal_ >= config_.headLookahead && config_.headLookahead)
+        head = recentKeys_[recentPos_ % recentKeys_.size()];
+
+    const auto frame =
+        static_cast<std::uint32_t>(head & (config_.numFrames - 1));
+    Frame &f = frames_[frame];
+    if (f.valid) {
+        frameConflicts_++;
+        if (reallocCallback_)
+            reallocCallback_(frame);
+    }
+    f.valid = true;
+    f.headKey = head;
+    f.sigs.clear();
+    f.sigs.reserve(std::min<std::uint32_t>(config_.fragmentSignatures,
+                                           4096));
+    recordFrame_ = frame;
+}
+
+void
+SequenceStorage::record(std::uint64_t key, Addr replacement, Addr victim)
+{
+    if (!recordFrame_ ||
+        frames_[*recordFrame_].sigs.size() >= config_.fragmentSignatures)
+        beginFragment(key);
+
+    Frame &f = frames_[*recordFrame_];
+    StoredSignature sig;
+    sig.key = key;
+    sig.replacement = replacement;
+    sig.victim = victim;
+    sig.confidence = config_.confidenceInit;
+    f.sigs.push_back(sig);
+
+    // Head-history ring: the oldest slot (about to be overwritten) is
+    // the key recorded `headLookahead` positions ago.
+    if (!recentKeys_.empty()) {
+        recentKeys_[recentPos_ % recentKeys_.size()] = key;
+        recentPos_++;
+    }
+
+    recordedTotal_++;
+    pendingWriteBytes_ += config_.signatureBytes;
+}
+
+std::optional<std::uint32_t>
+SequenceStorage::frameForHead(std::uint64_t key) const
+{
+    const auto frame =
+        static_cast<std::uint32_t>(key & (config_.numFrames - 1));
+    const Frame &f = frames_[frame];
+    if (f.valid && f.headKey == key)
+        return frame;
+    return std::nullopt;
+}
+
+const StoredSignature *
+SequenceStorage::at(std::uint32_t frame, std::uint32_t offset) const
+{
+    ltc_assert(frame < frames_.size(), "frame out of range: ", frame);
+    const Frame &f = frames_[frame];
+    if (!f.valid || offset >= f.sigs.size())
+        return nullptr;
+    return &f.sigs[offset];
+}
+
+std::uint32_t
+SequenceStorage::frameFill(std::uint32_t frame) const
+{
+    ltc_assert(frame < frames_.size(), "frame out of range: ", frame);
+    const Frame &f = frames_[frame];
+    return f.valid ? static_cast<std::uint32_t>(f.sigs.size()) : 0;
+}
+
+bool
+SequenceStorage::frameValid(std::uint32_t frame) const
+{
+    ltc_assert(frame < frames_.size(), "frame out of range: ", frame);
+    return frames_[frame].valid;
+}
+
+void
+SequenceStorage::updateConfidence(std::uint32_t frame,
+                                  std::uint32_t offset,
+                                  std::uint8_t confidence)
+{
+    ltc_assert(frame < frames_.size(), "frame out of range: ", frame);
+    Frame &f = frames_[frame];
+    if (!f.valid || offset >= f.sigs.size())
+        return; // the fragment was re-recorded under us; stale pointer
+    f.sigs[offset].confidence = confidence;
+    // Confidence updates ride otherwise-unused bus cycles
+    // (Section 4.4); we still account the byte moved.
+    pendingWriteBytes_ += 1;
+}
+
+void
+SequenceStorage::noteStreamRead(std::uint64_t sigs)
+{
+    pendingReadBytes_ += sigs * config_.signatureBytes;
+}
+
+std::uint64_t
+SequenceStorage::residentSignatures() const
+{
+    std::uint64_t n = 0;
+    for (const Frame &f : frames_)
+        if (f.valid)
+            n += f.sigs.size();
+    return n;
+}
+
+std::uint32_t
+SequenceStorage::framesInUse() const
+{
+    std::uint32_t n = 0;
+    for (const Frame &f : frames_)
+        n += f.valid ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+SequenceStorage::drainWriteBytes()
+{
+    const std::uint64_t v = pendingWriteBytes_;
+    pendingWriteBytes_ = 0;
+    return v;
+}
+
+std::uint64_t
+SequenceStorage::drainReadBytes()
+{
+    const std::uint64_t v = pendingReadBytes_;
+    pendingReadBytes_ = 0;
+    return v;
+}
+
+void
+SequenceStorage::clear()
+{
+    for (Frame &f : frames_) {
+        f.valid = false;
+        f.sigs.clear();
+    }
+    recordFrame_.reset();
+    recentPos_ = 0;
+    std::fill(recentKeys_.begin(), recentKeys_.end(), 0);
+}
+
+} // namespace ltc

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Off-chip sequence storage and the sequence tag array (Section 4.2).
+ *
+ * Main memory is partitioned into frames, each holding one fragment:
+ * a fixed-length sub-sequence of consecutive last-touch signatures in
+ * the order they were discovered (cache-miss order). A fragment is
+ * associated with a *head signature* — the signature that precedes
+ * the fragment in the recorded sequence by `headLookahead` positions —
+ * and maps to a frame by the low-order bits of that head (direct
+ * mapped; a new fragment overwrites an old one in the same frame).
+ * The on-chip sequence tag array stores each frame's head hash so a
+ * recurring head can be recognised and the fragment streamed back in.
+ *
+ * There is no explicit sequence start/stop: recording appends for as
+ * long as cache misses occur (Section 4.2). Write traffic is batched
+ * in `streamBatch`-signature units (Section 4.1) and accounted so the
+ * engines can charge the memory bus.
+ */
+
+#ifndef LTC_CORE_SEQUENCE_STORAGE_HH
+#define LTC_CORE_SEQUENCE_STORAGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/ltcords_config.hh"
+#include "util/types.hh"
+
+namespace ltc
+{
+
+/** One signature as stored off chip. */
+struct StoredSignature
+{
+    std::uint64_t key = 0;
+    Addr replacement = invalidAddr;
+    Addr victim = invalidAddr;
+    std::uint8_t confidence = 0;
+};
+
+class SequenceStorage
+{
+  public:
+    explicit SequenceStorage(const LtcordsConfig &config);
+
+    /**
+     * Append one signature to the recorded sequence (confidence is
+     * set to the configured initial value).
+     */
+    void record(std::uint64_t key, Addr replacement, Addr victim);
+
+    /**
+     * Sequence tag array lookup: the frame whose head hash matches
+     * @p key, if any.
+     */
+    std::optional<std::uint32_t> frameForHead(std::uint64_t key) const;
+
+    /** Signature at (frame, offset); nullptr past the fragment fill. */
+    const StoredSignature *at(std::uint32_t frame,
+                              std::uint32_t offset) const;
+
+    /** Signatures currently recorded in @p frame. */
+    std::uint32_t frameFill(std::uint32_t frame) const;
+
+    /** True when @p frame holds a (possibly partial) fragment. */
+    bool frameValid(std::uint32_t frame) const;
+
+    /**
+     * Direct off-chip confidence update through a signature-cache
+     * pointer (Section 4.4).
+     */
+    void updateConfidence(std::uint32_t frame, std::uint32_t offset,
+                          std::uint8_t confidence);
+
+    /**
+     * Called whenever a frame is re-allocated to a new fragment, so
+     * the owner can invalidate stale on-chip copies.
+     */
+    void
+    setReallocCallback(std::function<void(std::uint32_t)> cb)
+    {
+        reallocCallback_ = std::move(cb);
+    }
+
+    /** Account a streaming read of @p sigs signatures. */
+    void noteStreamRead(std::uint64_t sigs);
+
+    /** Total signatures ever recorded. */
+    std::uint64_t recordedTotal() const { return recordedTotal_; }
+    /** Signatures currently resident across all frames. */
+    std::uint64_t residentSignatures() const;
+    /** Frames holding fragments. */
+    std::uint32_t framesInUse() const;
+    /** Fragments overwritten by frame conflicts. */
+    std::uint64_t frameConflicts() const { return frameConflicts_; }
+
+    /** Off-chip bytes written since the last drain (seq. creation). */
+    std::uint64_t drainWriteBytes();
+    /** Off-chip bytes read since the last drain (seq. fetch). */
+    std::uint64_t drainReadBytes();
+
+    /** Drop all recorded sequences. */
+    void clear();
+
+    const LtcordsConfig &config() const { return config_; }
+
+  private:
+    void beginFragment(std::uint64_t incoming_key);
+
+    LtcordsConfig config_;
+
+    struct Frame
+    {
+        std::uint64_t headKey = 0;
+        std::vector<StoredSignature> sigs;
+        bool valid = false;
+    };
+
+    std::vector<Frame> frames_;
+    /** Frame currently being appended to; none before first record. */
+    std::optional<std::uint32_t> recordFrame_;
+
+    /**
+     * Ring of the most recent `headLookahead` recorded keys, used to
+     * pick the head signature when a new fragment begins.
+     */
+    std::vector<std::uint64_t> recentKeys_;
+    std::uint64_t recentPos_ = 0;
+
+    std::function<void(std::uint32_t)> reallocCallback_;
+
+    std::uint64_t recordedTotal_ = 0;
+    std::uint64_t frameConflicts_ = 0;
+    std::uint64_t pendingWriteBytes_ = 0;
+    std::uint64_t pendingReadBytes_ = 0;
+};
+
+} // namespace ltc
+
+#endif // LTC_CORE_SEQUENCE_STORAGE_HH

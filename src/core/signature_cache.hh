@@ -1,0 +1,103 @@
+/**
+ * @file
+ * On-chip signature cache (Sections 3.2, 4.3 of the paper).
+ *
+ * A small set-associative table holding the sliding windows of all
+ * active signature sequences. Entries are replaced in FIFO order
+ * (Section 4.3). Each entry carries, besides the prediction payload,
+ * a pointer (frame, offset) to its exact location in off-chip
+ * sequence storage, used to advance the owning fragment's sliding
+ * window and to write confidence updates back (Section 4.4).
+ */
+
+#ifndef LTC_CORE_SIGNATURE_CACHE_HH
+#define LTC_CORE_SIGNATURE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace ltc
+{
+
+/** One signature resident in the on-chip cache. */
+struct SigCacheEntry
+{
+    std::uint64_t key = 0;
+    Addr replacement = invalidAddr;
+    Addr victim = invalidAddr;
+    std::uint8_t confidence = 0;
+    /** Pointer into off-chip storage: frame index and offset. */
+    std::uint32_t frame = 0;
+    std::uint32_t offset = 0;
+    /** FIFO stamp. */
+    std::uint64_t fillTime = 0;
+    bool valid = false;
+};
+
+class SignatureCache
+{
+  public:
+    /**
+     * @param entries Total entry count (power of two).
+     * @param assoc   Associativity (divides entries).
+     */
+    SignatureCache(std::uint32_t entries, std::uint32_t assoc);
+
+    /**
+     * Insert a signature; evicts the oldest (FIFO) entry of the set
+     * if full. Re-inserting an existing key refreshes its payload but
+     * keeps its FIFO stamp.
+     */
+    void insert(const SigCacheEntry &entry);
+
+    /** Find the entry for @p key; nullptr when absent. */
+    SigCacheEntry *lookup(std::uint64_t key);
+
+    /** Invalidate all entries pointing into @p frame (re-recording). */
+    void invalidateFrame(std::uint32_t frame);
+
+    /** Drop everything. */
+    void clear();
+
+    std::uint32_t entries() const { return entries_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t numSets() const { return sets_; }
+
+    std::uint64_t inserts() const { return inserts_; }
+    std::uint64_t fifoEvictions() const { return fifoEvictions_; }
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+
+    /** Currently valid entries (O(capacity); for stats/tests). */
+    std::uint32_t occupancy() const;
+
+    /**
+     * On-chip bytes: 42 bits per entry (15b address tag + 2b
+     * confidence + 25b off-chip self-pointer, Section 5.6).
+     */
+    std::uint64_t
+    storageBytes() const
+    {
+        return static_cast<std::uint64_t>(entries_) * 42 / 8;
+    }
+
+  private:
+    std::uint32_t setOf(std::uint64_t key) const;
+
+    std::uint32_t entries_;
+    std::uint32_t assoc_;
+    std::uint32_t sets_;
+    std::vector<SigCacheEntry> table_;
+    std::uint64_t stamp_ = 0;
+
+    std::uint64_t inserts_ = 0;
+    std::uint64_t fifoEvictions_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace ltc
+
+#endif // LTC_CORE_SIGNATURE_CACHE_HH

@@ -1,0 +1,122 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+OooCore::OooCore(const CoreConfig &config) : config_(config)
+{
+    ltc_assert(config_.width > 0, "core width must be positive");
+    ltc_assert(config_.robSize > 0, "ROB size must be positive");
+    ltc_assert(config_.lsqSize > 0, "LSQ size must be positive");
+    robRing_.assign(config_.robSize, 0);
+    lsqRing_.assign(config_.lsqSize, 0);
+}
+
+OooCore::Slot
+OooCore::robConstraint() const
+{
+    // Instruction k occupies the slot freed when instruction
+    // k - robSize retires; the ring stores retire slots in insert
+    // order, so the head entry is the blocking one.
+    return robRing_[robHead_];
+}
+
+OooCore::Slot
+OooCore::lsqConstraint() const
+{
+    return lsqRing_[lsqHead_];
+}
+
+void
+OooCore::retireAt(Slot completion_slot)
+{
+    // In-order retirement, one slot (1/width cycle) per instruction.
+    const Slot retire = std::max(completion_slot, lastRetire_ + 1);
+    lastRetire_ = retire;
+    robRing_[robHead_] = retire;
+    robHead_ = (robHead_ + 1) % config_.robSize;
+}
+
+void
+OooCore::issueNonMem(std::uint32_t count)
+{
+    ltc_assert(!memPending_, "issueNonMem with memory access pending");
+    for (std::uint32_t i = 0; i < count; i++) {
+        const Slot issue = std::max(frontier_, robConstraint());
+        frontier_ = issue + 1;
+        const Slot complete =
+            issue + config_.aluLatency * config_.width;
+        retireAt(complete);
+        instructions_++;
+    }
+}
+
+Cycle
+OooCore::beginMem()
+{
+    ltc_assert(!memPending_, "beginMem with memory access pending");
+    const Slot issue =
+        std::max({frontier_, robConstraint(), lsqConstraint()});
+    memPending_ = true;
+    pendingIssueSlot_ = issue;
+    // Round up: the address is available at the end of the issue
+    // cycle.
+    return issue / config_.width;
+}
+
+void
+OooCore::completeMem(Cycle completion)
+{
+    ltc_assert(memPending_, "completeMem without beginMem");
+    const Slot completion_slot = completion * config_.width;
+    ltc_assert(completion_slot >= pendingIssueSlot_,
+               "memory completes before it issues");
+    frontier_ = pendingIssueSlot_ + 1;
+    retireAt(completion_slot);
+    lsqRing_[lsqHead_] = lastRetire_;
+    lsqHead_ = (lsqHead_ + 1) % config_.lsqSize;
+    instructions_++;
+    memInstructions_++;
+    memPending_ = false;
+}
+
+Cycle
+OooCore::finishCycle() const
+{
+    return lastRetire_ / config_.width + 1;
+}
+
+double
+OooCore::ipc() const
+{
+    const Cycle cycles = finishCycle();
+    return cycles ? static_cast<double>(instructions_) /
+            static_cast<double>(cycles)
+                  : 0.0;
+}
+
+void
+OooCore::beginInterval()
+{
+    intervalInstBase_ = instructions_;
+    intervalCycleBase_ = finishCycle();
+}
+
+InstCount
+OooCore::intervalInstructions() const
+{
+    return instructions_ - intervalInstBase_;
+}
+
+Cycle
+OooCore::intervalCycles() const
+{
+    const Cycle now = finishCycle();
+    return now > intervalCycleBase_ ? now - intervalCycleBase_ : 0;
+}
+
+} // namespace ltc

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * ROB-window out-of-order core timing model.
+ *
+ * A compact substitute for SimpleScalar's sim-outorder that preserves
+ * the mechanisms the paper's speedups depend on:
+ *
+ *  - issue and retire bandwidth of `width` instructions/cycle,
+ *  - a finite reorder buffer: instruction k cannot enter the window
+ *    until instruction k - robSize has retired, so long-latency
+ *    misses at the ROB head stall the machine,
+ *  - a finite load/store queue bounding memory instructions in
+ *    flight,
+ *  - in-order retirement: retire(k) >= max(complete(k), retire(k-1)),
+ *    one retire slot per instruction at `width`/cycle.
+ *
+ * Internally time is kept in *slots* (1 slot = 1/width cycle) so all
+ * arithmetic is exact integers. Independent misses naturally overlap
+ * inside the window; dependent misses serialise because the engine
+ * feeds the dependence chain in via the ready time of each access.
+ */
+
+#ifndef LTC_CPU_OOO_CORE_HH
+#define LTC_CPU_OOO_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/core_config.hh"
+#include "util/types.hh"
+
+namespace ltc
+{
+
+class OooCore
+{
+  public:
+    explicit OooCore(const CoreConfig &config);
+
+    /**
+     * Issue @p count single-cycle non-memory instructions. They occupy
+     * issue bandwidth and ROB slots but never stall on data.
+     */
+    void issueNonMem(std::uint32_t count);
+
+    /**
+     * Begin issuing one memory instruction.
+     * @return The cycle at which the instruction issues (i.e. the
+     *         earliest cycle its address is available); the engine
+     *         computes the access latency from this point.
+     */
+    Cycle beginMem();
+
+    /**
+     * Finish the memory instruction begun by beginMem().
+     * @param completion Cycle its data arrives (>= its issue cycle).
+     */
+    void completeMem(Cycle completion);
+
+    /** Instructions issued so far. */
+    InstCount instructions() const { return instructions_; }
+
+    /** Cycles elapsed once everything issued so far retires. */
+    Cycle finishCycle() const;
+
+    /** IPC over the lifetime of the core. */
+    double ipc() const;
+
+    /** Start a measurement interval (resets instruction/cycle base). */
+    void beginInterval();
+    /** Instructions retired in the current interval. */
+    InstCount intervalInstructions() const;
+    /** Cycles in the current interval. */
+    Cycle intervalCycles() const;
+
+  private:
+    using Slot = std::uint64_t; //!< 1 slot = 1/width cycle
+
+    Slot robConstraint() const;
+    Slot lsqConstraint() const;
+    void retireAt(Slot completion_slot);
+
+    CoreConfig config_;
+
+    /** Ring of retire slots for the last robSize instructions. */
+    std::vector<Slot> robRing_;
+    std::uint64_t robHead_ = 0; //!< index of oldest entry
+
+    /** Ring of retire slots for the last lsqSize memory insts. */
+    std::vector<Slot> lsqRing_;
+    std::uint64_t lsqHead_ = 0;
+
+    Slot frontier_ = 0;   //!< next issue slot
+    Slot lastRetire_ = 0; //!< retire slot of the newest instruction
+    InstCount instructions_ = 0;
+    InstCount memInstructions_ = 0;
+
+    bool memPending_ = false;
+    Slot pendingIssueSlot_ = 0;
+
+    InstCount intervalInstBase_ = 0;
+    Cycle intervalCycleBase_ = 0;
+};
+
+} // namespace ltc
+
+#endif // LTC_CPU_OOO_CORE_HH

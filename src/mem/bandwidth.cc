@@ -1,0 +1,33 @@
+#include "mem/bandwidth.hh"
+
+namespace ltc
+{
+
+const char *
+trafficName(Traffic traffic)
+{
+    switch (traffic) {
+      case Traffic::BaseData:
+        return "base-data";
+      case Traffic::IncorrectPrefetch:
+        return "incorrect-predictions";
+      case Traffic::SequenceCreate:
+        return "sequence-creation";
+      case Traffic::SequenceFetch:
+        return "sequence-fetch";
+      case Traffic::NumClasses:
+        break;
+    }
+    return "?";
+}
+
+std::uint64_t
+BandwidthAccount::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counters_)
+        total += c;
+    return total;
+}
+
+} // namespace ltc

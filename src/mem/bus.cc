@@ -1,0 +1,77 @@
+#include "mem/bus.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+BusConfig
+BusConfig::l1l2()
+{
+    BusConfig c;
+    c.name = "l1l2";
+    c.requestCycles = 1;
+    c.bytesPerCycle = 32;
+    c.coreCyclesPerBusCycle = 1;
+    return c;
+}
+
+BusConfig
+BusConfig::memory()
+{
+    BusConfig c;
+    c.name = "membus";
+    c.requestCycles = 1;
+    c.bytesPerCycle = 32;
+    c.coreCyclesPerBusCycle = 3; // 4 GHz core / 1333 MHz bus
+    return c;
+}
+
+Bus::Bus(const BusConfig &config) : config_(config)
+{
+    ltc_assert(config_.bytesPerCycle > 0, "bus with zero width");
+    ltc_assert(config_.coreCyclesPerBusCycle > 0,
+               "bus with zero clock ratio");
+}
+
+Cycle
+Bus::transfer(Cycle ready, std::uint32_t bytes)
+{
+    const Cycle start = std::max(ready, busyUntil_);
+    const Cycle occ = config_.occupancy(bytes);
+    queueCycles_ += start - ready;
+    busyUntil_ = start + occ;
+    busyCycles_ += occ;
+    bytesMoved_ += bytes;
+    transfers_++;
+    return busyUntil_;
+}
+
+Cycle
+Bus::freeAt(Cycle now) const
+{
+    return std::max(now, busyUntil_);
+}
+
+double
+Bus::utilization(Cycle horizon) const
+{
+    if (horizon == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(busyCycles_) /
+                             static_cast<double>(horizon));
+}
+
+void
+Bus::reset()
+{
+    busyUntil_ = 0;
+    busyCycles_ = 0;
+    queueCycles_ = 0;
+    bytesMoved_ = 0;
+    transfers_ = 0;
+}
+
+} // namespace ltc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bus occupancy model.
+ *
+ * Table 1 defines two busses: the L1/L2 bus (1-cycle request, 32 bytes
+ * per cycle data) and the 32-byte-wide 1333 MHz memory bus behind the
+ * L2. A transfer occupies the bus for request + data cycles; a
+ * transfer that arrives while the bus is busy queues behind it. The
+ * model keeps a busy-until horizon, which is exact for in-order
+ * request service.
+ */
+
+#ifndef LTC_MEM_BUS_HH
+#define LTC_MEM_BUS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace ltc
+{
+
+/** Configuration for one bus. */
+struct BusConfig
+{
+    std::string name = "bus";
+    /** Cycles to transmit the request/command. */
+    Cycle requestCycles = 1;
+    /** Data bytes moved per core cycle. */
+    std::uint32_t bytesPerCycle = 32;
+    /**
+     * Clock ratio: core cycles per bus cycle (1 for the on-chip
+     * L1/L2 bus; 3 for a 1333 MHz memory bus under a 4 GHz core).
+     */
+    std::uint32_t coreCyclesPerBusCycle = 1;
+
+    /** Core cycles occupied by a transfer of @p bytes. */
+    Cycle
+    occupancy(std::uint32_t bytes) const
+    {
+        const Cycle data_cycles =
+            (bytes + bytesPerCycle - 1) / bytesPerCycle;
+        return (requestCycles + data_cycles) * coreCyclesPerBusCycle;
+    }
+
+    /** L1/L2 bus of Table 1. */
+    static BusConfig l1l2();
+    /** Memory bus of Table 1 (32-byte, 1333 MHz under 4 GHz core). */
+    static BusConfig memory();
+};
+
+/** Single-channel bus with FIFO service and utilization accounting. */
+class Bus
+{
+  public:
+    explicit Bus(const BusConfig &config);
+
+    /**
+     * Schedule a transfer of @p bytes that becomes ready at @p ready.
+     * @return Core cycle at which the transfer completes.
+     */
+    Cycle transfer(Cycle ready, std::uint32_t bytes);
+
+    /** Earliest cycle >= @p now at which the bus is free. */
+    Cycle freeAt(Cycle now) const;
+
+    /** True if a transfer starting at @p now would not queue. */
+    bool isFree(Cycle now) const { return busyUntil_ <= now; }
+
+    const BusConfig &config() const { return config_; }
+
+    /** Total core cycles the bus spent occupied. */
+    Cycle busyCycles() const { return busyCycles_; }
+    /** Total bytes moved. */
+    std::uint64_t bytesMoved() const { return bytesMoved_; }
+    /** Number of transfers serviced. */
+    std::uint64_t transfers() const { return transfers_; }
+    /** Total cycles transfers spent queued before starting. */
+    Cycle queueCycles() const { return queueCycles_; }
+
+    /** Fraction of wall-clock cycles busy up to @p horizon. */
+    double utilization(Cycle horizon) const;
+
+    void reset();
+
+  private:
+    BusConfig config_;
+    Cycle busyUntil_ = 0;
+    Cycle busyCycles_ = 0;
+    Cycle queueCycles_ = 0;
+    std::uint64_t bytesMoved_ = 0;
+    std::uint64_t transfers_ = 0;
+};
+
+} // namespace ltc
+
+#endif // LTC_MEM_BUS_HH

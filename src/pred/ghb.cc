@@ -1,0 +1,144 @@
+#include "pred/ghb.hh"
+
+#include "util/bitops.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+Ghb::Ghb(const GhbConfig &config) : config_(config)
+{
+    ltc_assert(config_.ghbEntries > 1, "GHB needs >= 2 entries");
+    ltc_assert(isPowerOf2(config_.indexEntries),
+               "GHB index size must be a power of two");
+    ghb_.resize(config_.ghbEntries);
+    index_.resize(config_.indexEntries);
+}
+
+bool
+Ghb::serialLive(std::uint64_t serial) const
+{
+    // Serial s lives in the buffer until ghbEntries newer insertions
+    // overwrite its slot.
+    return serial != 0 && serial + config_.ghbEntries >= nextSerial_ &&
+        serial < nextSerial_;
+}
+
+void
+Ghb::insertMiss(Addr pc, Addr block_addr)
+{
+    const std::uint64_t serial = nextSerial_++;
+    GhbEntry &entry = ghb_[serial % config_.ghbEntries];
+
+    IndexEntry &idx =
+        index_[mix64(pc) & (config_.indexEntries - 1)];
+
+    entry.missAddr = block_addr;
+    entry.hasPrev = idx.valid && idx.pcTag == pc &&
+        serialLive(idx.headSerial);
+    entry.prevSerial = entry.hasPrev ? idx.headSerial : 0;
+
+    idx.valid = true;
+    idx.pcTag = pc;
+    idx.headSerial = serial;
+}
+
+std::vector<Addr>
+Ghb::chainFor(Addr pc) const
+{
+    std::vector<Addr> history; // newest first
+    const IndexEntry &idx =
+        index_[mix64(pc) & (config_.indexEntries - 1)];
+    if (!idx.valid || idx.pcTag != pc)
+        return history;
+
+    std::uint64_t serial = idx.headSerial;
+    while (serialLive(serial) && history.size() < config_.maxChain) {
+        const GhbEntry &entry = ghb_[serial % config_.ghbEntries];
+        history.push_back(entry.missAddr);
+        if (!entry.hasPrev)
+            break;
+        serial = entry.prevSerial;
+    }
+    return history;
+}
+
+void
+Ghb::observe(const MemRef &ref, const HierOutcome &out)
+{
+    if (out.l1Hit())
+        return;
+    misses_++;
+
+    const Addr block =
+        ref.addr & ~static_cast<Addr>(config_.lineBytes - 1);
+    insertMiss(ref.pc, block);
+
+    // history[0] is the current miss; deltas[i] = history[i] -
+    // history[i+1] (newest delta first).
+    const std::vector<Addr> history = chainFor(ref.pc);
+    if (history.size() < 4)
+        return; // need two deltas to correlate plus context
+
+    std::vector<std::int64_t> deltas;
+    deltas.reserve(history.size() - 1);
+    for (std::size_t i = 0; i + 1 < history.size(); i++) {
+        deltas.push_back(static_cast<std::int64_t>(history[i]) -
+                         static_cast<std::int64_t>(history[i + 1]));
+    }
+
+    // Search the older delta stream for the most recent delta pair.
+    const std::int64_t d1 = deltas[0];
+    const std::int64_t d2 = deltas[1];
+    std::size_t match = deltas.size();
+    for (std::size_t i = 2; i + 1 < deltas.size(); i++) {
+        if (deltas[i] == d1 && deltas[i + 1] == d2) {
+            match = i;
+            break;
+        }
+    }
+    if (match == deltas.size())
+        return;
+    matches_++;
+
+    // Replay the deltas that followed the matched pair (remember:
+    // deltas are newest-first, so "followed in time" = lower index).
+    // If fewer than `depth` deltas follow the match, the pattern is
+    // replayed cyclically with period `match` -- for a constant
+    // stride this extends the two follow-on deltas to the full
+    // prefetch depth, as PC/DC implementations do.
+    Addr target = block;
+    std::uint32_t issued = 0;
+    std::size_t i = match;
+    while (issued < config_.depth) {
+        if (i == 0)
+            i = match;
+        i--;
+        target += static_cast<Addr>(deltas[i]);
+        PrefetchRequest req;
+        req.target = target;
+        req.intoL1 = false; // install into L2 only
+        enqueue(req);
+        issued++;
+        issued_++;
+    }
+}
+
+void
+Ghb::exportStats(StatSet &set) const
+{
+    set.set("misses_observed", static_cast<double>(misses_));
+    set.set("delta_matches", static_cast<double>(matches_));
+    set.set("prefetches_issued", static_cast<double>(issued_));
+}
+
+void
+Ghb::clear()
+{
+    ghb_.assign(config_.ghbEntries, GhbEntry{});
+    index_.assign(config_.indexEntries, IndexEntry{});
+    nextSerial_ = 1;
+}
+
+} // namespace ltc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Global History Buffer PC/DC prefetcher (Nesbit & Smith, HPCA'04).
+ *
+ * The delta-correlating baseline of the paper (subsumes stride
+ * prefetching). The GHB is a circular buffer of L1D miss addresses;
+ * each entry links to the previous miss by the same PC. On a miss,
+ * the PC's chain yields its recent miss-address history; the two most
+ * recent deltas are searched for in the older delta stream (delta
+ * correlation) and, on a match, the deltas that followed the match
+ * are replayed from the current miss address to generate prefetches.
+ *
+ * Configuration follows the paper: 256-entry index table, 256-entry
+ * GHB, prefetch depth 4. GHB prefetches install into L2 only — unlike
+ * last-touch prefetchers it has no dead-block information, so filling
+ * L1D directly would pollute it (Section 5.7).
+ */
+
+#ifndef LTC_PRED_GHB_HH
+#define LTC_PRED_GHB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pred/prefetcher.hh"
+
+namespace ltc
+{
+
+/** GHB PC/DC configuration. */
+struct GhbConfig
+{
+    std::uint32_t indexEntries = 256;
+    std::uint32_t ghbEntries = 256;
+    /** Prefetch depth after a delta-pair match. */
+    std::uint32_t depth = 4;
+    /** Maximum chain length walked when building the history. */
+    std::uint32_t maxChain = 64;
+    std::uint32_t lineBytes = 64;
+};
+
+class Ghb : public Prefetcher
+{
+  public:
+    explicit Ghb(const GhbConfig &config);
+
+    void observe(const MemRef &ref, const HierOutcome &out) override;
+    std::string name() const override { return "ghb-pc/dc"; }
+    void exportStats(StatSet &set) const override;
+
+    void clear();
+
+  private:
+    struct GhbEntry
+    {
+        Addr missAddr = 0;
+        /** Serial number of the previous miss by the same PC. */
+        std::uint64_t prevSerial = 0;
+        bool hasPrev = false;
+    };
+
+    struct IndexEntry
+    {
+        Addr pcTag = invalidAddr;
+        std::uint64_t headSerial = 0;
+        bool valid = false;
+    };
+
+    bool serialLive(std::uint64_t serial) const;
+    void insertMiss(Addr pc, Addr block_addr);
+    std::vector<Addr> chainFor(Addr pc) const;
+
+    GhbConfig config_;
+    std::vector<GhbEntry> ghb_;
+    std::vector<IndexEntry> index_;
+    /** Serial number of the next GHB insertion (1-based). */
+    std::uint64_t nextSerial_ = 1;
+
+    std::uint64_t misses_ = 0;
+    std::uint64_t matches_ = 0;
+    std::uint64_t issued_ = 0;
+};
+
+} // namespace ltc
+
+#endif // LTC_PRED_GHB_HH

@@ -1,0 +1,110 @@
+#include "sim/experiment.hh"
+
+#include "core/ltcords.hh"
+#include "pred/dbcp.hh"
+#include "pred/ghb.hh"
+#include "pred/markov.hh"
+#include "pred/stride.hh"
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+HierarchyConfig
+paperHierarchy()
+{
+    return HierarchyConfig{};
+}
+
+HierarchyConfig
+bigL2Hierarchy()
+{
+    HierarchyConfig h;
+    h.l2.sizeBytes = 4 * 1024 * 1024;
+    // Conservatively the same access latency as the base 1MB cache
+    // (Section 5.7).
+    return h;
+}
+
+HierarchyConfig
+perfectL1Hierarchy()
+{
+    HierarchyConfig h;
+    h.perfectL1 = true;
+    return h;
+}
+
+TimingConfig
+paperTiming()
+{
+    return TimingConfig{};
+}
+
+LtcordsConfig
+paperLtcords(const HierarchyConfig &hier, bool model_stream_latency)
+{
+    LtcordsConfig c;
+    c.l1Sets = static_cast<std::uint32_t>(hier.l1d.numSets());
+    c.lineBytes = hier.l1d.lineBytes;
+    c.modelStreamLatency = model_stream_latency;
+    return c;
+}
+
+std::vector<std::string>
+predictorNames()
+{
+    return {"none",           "lt-cords", "dbcp",    "dbcp-2mb",
+            "dbcp-unlimited", "ghb",      "stride",  "markov"};
+}
+
+std::unique_ptr<Prefetcher>
+makePredictor(const std::string &name, const HierarchyConfig &hier,
+              bool model_stream_latency)
+{
+    if (name == "none")
+        return nullptr;
+    if (name == "lt-cords") {
+        return std::make_unique<LtCords>(
+            paperLtcords(hier, model_stream_latency));
+    }
+    if (name == "dbcp" || name == "dbcp-2mb" ||
+        name == "dbcp-unlimited") {
+        DbcpConfig c;
+        c.l1Sets = static_cast<std::uint32_t>(hier.l1d.numSets());
+        c.lineBytes = hier.l1d.lineBytes;
+        if (name == "dbcp") {
+            // The paper's realistic DBCP uses a 2MB on-chip table
+            // (Table 1), whose 256K entries cover 4x more footprint
+            // than the 4MB L2 holds. Our workloads are ~8x scaled
+            // down; a 1MB table preserves both relations: the same
+            // benchmark class fits (mcf's working set, bh, treeadd)
+            // while large-signature-footprint benchmarks (swim,
+            // lucas, wupwise, em3d, applu...) still thrash, and the
+            // table still covers more footprint than the 4MB L2.
+            c.tableEntries =
+                DbcpConfig::entriesForBytes(1024 * 1024);
+        } else if (name == "dbcp-2mb") {
+            c.tableEntries =
+                DbcpConfig::entriesForBytes(2 * 1024 * 1024);
+        }
+        return std::make_unique<Dbcp>(c);
+    }
+    if (name == "ghb") {
+        GhbConfig c;
+        c.lineBytes = hier.l1d.lineBytes;
+        return std::make_unique<Ghb>(c);
+    }
+    if (name == "stride") {
+        StrideConfig c;
+        c.lineBytes = hier.l1d.lineBytes;
+        return std::make_unique<StridePrefetcher>(c);
+    }
+    if (name == "markov") {
+        MarkovConfig c;
+        c.lineBytes = hier.l1d.lineBytes;
+        return std::make_unique<MarkovPrefetcher>(c);
+    }
+    ltc_fatal("unknown predictor '", name, "'");
+}
+
+} // namespace ltc

@@ -1,0 +1,50 @@
+#include "sim/sampling.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace ltc
+{
+
+SampledResult
+runSampled(TimingSim &sim, TraceSource &src, const SamplingConfig &config)
+{
+    ltc_assert(config.measureRefs > 0, "measureRefs must be positive");
+
+    RunningStats window_ipc;
+    SampledResult result;
+
+    while (config.maxSamples == 0 ||
+           window_ipc.count() < config.maxSamples) {
+        if (config.skipRefs &&
+            sim.run(src, config.skipRefs) < config.skipRefs)
+            break;
+        if (config.warmupRefs &&
+            sim.run(src, config.warmupRefs) < config.warmupRefs)
+            break;
+
+        sim.core().beginInterval();
+        if (sim.run(src, config.measureRefs) < config.measureRefs)
+            break;
+        const Cycle cycles = sim.core().intervalCycles();
+        const InstCount insts = sim.core().intervalInstructions();
+        if (cycles == 0)
+            continue;
+        window_ipc.sample(static_cast<double>(insts) /
+                          static_cast<double>(cycles));
+        result.instructions += insts;
+    }
+
+    result.samples = window_ipc.count();
+    result.meanIpc = window_ipc.mean();
+    if (result.samples >= 2 && result.meanIpc > 0.0) {
+        const double sem = window_ipc.stddev() /
+            std::sqrt(static_cast<double>(result.samples));
+        result.ci95Frac = 1.96 * sem / result.meanIpc;
+    }
+    return result;
+}
+
+} // namespace ltc

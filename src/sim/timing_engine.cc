@@ -1,0 +1,334 @@
+#include "sim/timing_engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+TimingSim::TimingSim(const TimingConfig &config, Prefetcher *pred)
+    : config_(config), core_(config.core), hier_(config.hier),
+      mshrs_(config.core.l1dMshrs), l1l2Req_(config.l1l2Bus),
+      l1l2Data_(config.l1l2Bus), memReq_(config.memBus),
+      memData_(config.memBus), pfPace_(config.memBus),
+      metaBus_(config.memBus), dram_(config.dram), pred_(pred)
+{
+    hier_.l1d().setListener(this);
+}
+
+TimingSim::~TimingSim()
+{
+    hier_.l1d().setListener(nullptr);
+}
+
+void
+TimingSim::onEviction(Addr victim_addr, Addr incoming_addr,
+                      std::uint32_t set, bool by_prefetch,
+                      bool victim_was_untouched_prefetch)
+{
+    (void)incoming_addr;
+    (void)set;
+    (void)by_prefetch;
+    if (!victim_was_untouched_prefetch)
+        return;
+    running_.useless++;
+    auto it = fetchedOffChip_.find(victim_addr);
+    if (it != fetchedOffChip_.end()) {
+        if (it->second) {
+            running_.traffic.add(Traffic::IncorrectPrefetch,
+                                 config_.hier.l1d.lineBytes);
+        }
+        fetchedOffChip_.erase(it);
+    }
+    inflight_.erase(victim_addr);
+    if (pred_) {
+        PrefetchFeedback fb;
+        fb.target = victim_addr;
+        fb.useless = true;
+        pred_->feedback(fb);
+    }
+}
+
+Cycle
+TimingSim::missCompletion(Addr block, HitLevel level, Cycle ready)
+{
+    (void)block;
+    // Request leaves L1 after its lookup latency, crosses the L1/L2
+    // bus (request phase only), then either hits in L2 or continues
+    // to memory; the data crosses the L1/L2 bus on the way back.
+    const Cycle req_start = ready + config_.hier.l1d.latency;
+    const Cycle req_done = l1l2Req_.transfer(req_start, 0);
+
+    Cycle data_ready;
+    if (level == HitLevel::L2) {
+        data_ready = req_done + config_.hier.l2.latency;
+    } else {
+        // L2 lookup (miss) then the memory round trip.
+        const Cycle mem_req =
+            memReq_.transfer(req_done + config_.hier.l2.latency, 0);
+        data_ready = mem_req + dram_.read(config_.hier.l1d.lineBytes);
+        // Block transfer over the memory data bus.
+        data_ready =
+            memData_.transfer(data_ready, config_.hier.l1d.lineBytes);
+    }
+    return l1l2Data_.transfer(data_ready, config_.hier.l1d.lineBytes);
+}
+
+void
+TimingSim::enqueuePrefetch(const PrefetchRequest &req)
+{
+    // Duplicate filter: requests whose block is already resident (or
+    // already in flight) would waste request-queue slots and issue
+    // bandwidth; real prefetchers filter them against the tag array.
+    const Addr block = hier_.l1d().blockAlign(req.target);
+    if (inflight_.count(block))
+        return;
+    if (req.intoL1 ? hier_.l1d().probe(block) : hier_.l2().probe(block))
+        return;
+
+    if (prefetchQueue_.size() >= config_.prefetchQueueEntries) {
+        // New requests replace old unissued ones (Section 5). The
+        // dropped prediction gets no confidence feedback: the
+        // signature was not wrong, the queue was full.
+        prefetchQueue_.pop_front();
+        running_.dropped++;
+    }
+    prefetchQueue_.push_back(req);
+}
+
+void
+TimingSim::drainPrefetchQueue(Cycle now)
+{
+    // Paced issue: one prefetch per memory-bus block-transfer time,
+    // sustained. The pacing channel's horizon hands out issue slots;
+    // slots are back-filled between engine events (the queue would
+    // have drained continuously in hardware), bounded so stale slots
+    // far in the past are not used. The transfers themselves contend
+    // with demand on the shared data channels.
+    drainClock_ = std::max(drainClock_, now > 1024 ? now - 1024 : 0);
+    while (!prefetchQueue_.empty()) {
+        // Re-filter just before issue: an earlier prefetch or demand
+        // fill may have brought the block in meanwhile. Filtered
+        // requests consume no issue slot.
+        const PrefetchRequest &front = prefetchQueue_.front();
+        const Addr block = hier_.l1d().blockAlign(front.target);
+        const bool resident = front.intoL1
+            ? hier_.l1d().probe(block)
+            : hier_.l2().probe(block);
+        if (resident || inflight_.count(block)) {
+            prefetchQueue_.pop_front();
+            continue;
+        }
+        const Cycle slot = std::max(pfPace_.freeAt(0), drainClock_);
+        if (slot > now)
+            break;
+        const PrefetchRequest req = prefetchQueue_.front();
+        prefetchQueue_.pop_front();
+        pfPace_.transfer(slot, config_.hier.l1d.lineBytes);
+        issuePrefetch(req, slot);
+    }
+}
+
+void
+TimingSim::issuePrefetch(const PrefetchRequest &req, Cycle now)
+{
+    const Addr block = hier_.l1d().blockAlign(req.target);
+
+    if (req.intoL1) {
+        if (hier_.l1d().probe(block)) {
+            if (pred_) {
+                PrefetchFeedback fb;
+                fb.target = req.target;
+                fb.useless = true;
+                pred_->feedback(fb);
+            }
+            return;
+        }
+    } else if (hier_.l2().probe(block)) {
+        return;
+    }
+
+    const bool l2_hit = hier_.l2().probe(block);
+    const Cycle req_done = l1l2Req_.transfer(now, 0);
+    Cycle data_ready;
+    if (l2_hit) {
+        data_ready = req_done + config_.hier.l2.latency;
+    } else {
+        const Cycle mem_req =
+            memReq_.transfer(req_done + config_.hier.l2.latency, 0);
+        data_ready = mem_req + dram_.read(config_.hier.l1d.lineBytes);
+        data_ready =
+            memData_.transfer(data_ready, config_.hier.l1d.lineBytes);
+    }
+
+    if (req.intoL1) {
+        const Cycle complete =
+            l1l2Data_.transfer(data_ready, config_.hier.l1d.lineBytes);
+        const PrefetchOutcome out =
+            hier_.prefetch(req.target, req.predictedVictim);
+        if (out.alreadyInL1)
+            return;
+        inflight_[block] = complete;
+        fetchedOffChip_[block] = !l2_hit;
+        if (out.l1Evicted && pred_)
+            pred_->onPrefetchEviction(out.l1VictimAddr, req.target);
+    } else {
+        hier_.l2().fill(block);
+        inflight_[block] = data_ready;
+        fetchedOffChip_[block] = true;
+    }
+}
+
+void
+TimingSim::chargeMetaTraffic(Cycle now)
+{
+    if (!pred_)
+        return;
+    const auto [write_bytes, read_bytes] = pred_->drainMetaTraffic();
+    if (write_bytes) {
+        running_.traffic.add(Traffic::SequenceCreate, write_bytes);
+        metaBus_.transfer(now, static_cast<std::uint32_t>(
+                                   std::min<std::uint64_t>(write_bytes,
+                                                           1 << 20)));
+    }
+    if (read_bytes) {
+        running_.traffic.add(Traffic::SequenceFetch, read_bytes);
+        metaBus_.transfer(now, static_cast<std::uint32_t>(
+                                   std::min<std::uint64_t>(read_bytes,
+                                                           1 << 20)));
+    }
+}
+
+void
+TimingSim::step(const MemRef &ref)
+{
+    core_.issueNonMem(ref.nonMemGap);
+    const Cycle issue = core_.beginMem();
+    Cycle ready = issue;
+    if (ref.dependsOnPrev)
+        ready = std::max(ready, lastLoadComplete_);
+
+    const Addr block = hier_.l1d().blockAlign(ref.addr);
+    const HierOutcome out = hier_.access(ref.addr, ref.op);
+    running_.accesses++;
+
+    Cycle complete;
+    if (out.l1Hit()) {
+        complete = ready + config_.hier.l1d.latency;
+        // The block may be present functionally but still in flight.
+        auto it = inflight_.find(block);
+        if (it != inflight_.end()) {
+            if (it->second > complete) {
+                complete = it->second;
+                running_.partial++;
+            }
+            inflight_.erase(it);
+        }
+        if (out.l1HitOnPrefetch) {
+            running_.correct++;
+            auto fit = fetchedOffChip_.find(block);
+            if (fit != fetchedOffChip_.end()) {
+                if (fit->second) {
+                    running_.traffic.add(Traffic::BaseData,
+                                         config_.hier.l1d.lineBytes);
+                }
+                fetchedOffChip_.erase(fit);
+            }
+            if (pred_) {
+                PrefetchFeedback fb;
+                fb.target = ref.addr;
+                fb.useless = false;
+                pred_->feedback(fb);
+            }
+        }
+    } else {
+        running_.l1Misses++;
+        if (out.level == HitLevel::Memory) {
+            running_.l2Misses++;
+            running_.traffic.add(Traffic::BaseData,
+                                 config_.hier.l1d.lineBytes);
+        } else if (out.l2HitOnPrefetch) {
+            auto fit = fetchedOffChip_.find(block);
+            if (fit != fetchedOffChip_.end()) {
+                if (fit->second) {
+                    running_.traffic.add(Traffic::BaseData,
+                                         config_.hier.l1d.lineBytes);
+                }
+                fetchedOffChip_.erase(fit);
+            }
+            if (pred_) {
+                PrefetchFeedback fb;
+                fb.target = ref.addr;
+                fb.useless = false;
+                pred_->feedback(fb);
+            }
+        }
+
+        // An L2 prefetch still in flight partially hides the L2 hit.
+        Cycle inflight_floor = 0;
+        auto it = inflight_.find(block);
+        if (it != inflight_.end()) {
+            inflight_floor = it->second;
+            running_.partial++;
+            inflight_.erase(it);
+        }
+
+        if (auto merged = mshrs_.lookup(block)) {
+            mshrs_.noteMerge();
+            complete = std::max(*merged, ready +
+                                config_.hier.l1d.latency);
+        } else {
+            const Cycle alloc = mshrs_.allocReadyAt(ready);
+            complete = missCompletion(block, out.level, alloc);
+            complete = std::max(complete, inflight_floor);
+            mshrs_.allocate(block, alloc, complete);
+        }
+        running_.missLatencyTotal += complete - ready;
+    }
+
+    core_.completeMem(complete);
+    if (ref.isLoad())
+        lastLoadComplete_ = complete;
+    mshrs_.retire(complete);
+
+    if (pred_) {
+        pred_->setNow(issue);
+        pred_->observe(ref, out);
+        for (const PrefetchRequest &req : pred_->drainRequests())
+            enqueuePrefetch(req);
+        drainPrefetchQueue(ready);
+        chargeMetaTraffic(issue);
+    }
+}
+
+std::uint64_t
+TimingSim::run(TraceSource &src, std::uint64_t refs)
+{
+    MemRef ref;
+    std::uint64_t done = 0;
+    while (done < refs && src.next(ref)) {
+        step(ref);
+        done++;
+    }
+    return done;
+}
+
+TimingStats
+TimingSim::stats() const
+{
+    TimingStats s = running_;
+    s.cycles = core_.finishCycle();
+    s.instructions = core_.instructions();
+    s.ipc = core_.ipc();
+    s.memBusBusy = memReq_.busyCycles() + memData_.busyCycles() +
+        metaBus_.busyCycles();
+    s.l1l2BusBusy = l1l2Req_.busyCycles() + l1l2Data_.busyCycles();
+    s.l1l2ReqQueue = l1l2Req_.queueCycles();
+    s.l1l2DataQueue = l1l2Data_.queueCycles();
+    s.memReqQueue = memReq_.queueCycles();
+    s.memDataQueue = memData_.queueCycles();
+    return s;
+}
+
+} // namespace ltc

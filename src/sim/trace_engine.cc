@@ -1,0 +1,266 @@
+#include "sim/trace_engine.hh"
+
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+/**
+ * L2 eviction listener: when a block prefetched into L2 (GHB/stride
+ * style) dies unused, classify its off-chip transfer as incorrect-
+ * prediction traffic and tell the predictor.
+ */
+class TraceEngine::L2Listener : public CacheListener
+{
+  public:
+    explicit L2Listener(TraceEngine &owner) : owner_(owner) {}
+
+    void
+    onEviction(Addr victim_addr, Addr incoming_addr, std::uint32_t set,
+               bool by_prefetch, bool victim_was_untouched_prefetch)
+        override
+    {
+        (void)incoming_addr;
+        (void)set;
+        (void)by_prefetch;
+        if (!victim_was_untouched_prefetch)
+            return;
+        CoverageStats &s = owner_.buckets_[owner_.current_];
+        auto it = owner_.fetchedOffChip_.find(victim_addr);
+        if (it != owner_.fetchedOffChip_.end()) {
+            if (it->second) {
+                s.traffic.add(Traffic::IncorrectPrefetch,
+                              owner_.hierConfig_.l2.lineBytes);
+            }
+            owner_.fetchedOffChip_.erase(it);
+        }
+        s.uselessPrefetches++;
+        if (owner_.pred_) {
+            PrefetchFeedback fb;
+            fb.target = victim_addr;
+            fb.useless = true;
+            owner_.pred_->feedback(fb);
+        }
+    }
+
+  private:
+    TraceEngine &owner_;
+};
+
+TraceEngine::TraceEngine(const HierarchyConfig &hier_config,
+                         Prefetcher *pred, std::uint32_t buckets)
+    : hierConfig_(hier_config), hier_(hier_config), pred_(pred),
+      buckets_(buckets == 0 ? 1 : buckets),
+      l2Listener_(std::make_unique<L2Listener>(*this))
+{
+    hier_.l1d().setListener(this);
+    hier_.l2().setListener(l2Listener_.get());
+}
+
+TraceEngine::~TraceEngine()
+{
+    hier_.l1d().setListener(nullptr);
+    hier_.l2().setListener(nullptr);
+}
+
+void
+TraceEngine::selectBucket(std::uint32_t bucket)
+{
+    ltc_assert(bucket < buckets_.size(), "bucket out of range: ", bucket);
+    current_ = bucket;
+}
+
+const CoverageStats &
+TraceEngine::stats(std::uint32_t bucket) const
+{
+    ltc_assert(bucket < buckets_.size(), "bucket out of range: ", bucket);
+    return buckets_[bucket];
+}
+
+CoverageStats &
+TraceEngine::stats(std::uint32_t bucket)
+{
+    ltc_assert(bucket < buckets_.size(), "bucket out of range: ", bucket);
+    return buckets_[bucket];
+}
+
+void
+TraceEngine::onEviction(Addr victim_addr, Addr incoming_addr,
+                        std::uint32_t set, bool by_prefetch,
+                        bool victim_was_untouched_prefetch)
+{
+    (void)incoming_addr;
+    (void)set;
+    CoverageStats &s = buckets_[current_];
+
+    if (victim_was_untouched_prefetch) {
+        // A prefetched block died unused: wrong replacement address.
+        s.uselessPrefetches++;
+        auto it = fetchedOffChip_.find(victim_addr);
+        if (it != fetchedOffChip_.end()) {
+            if (it->second) {
+                s.traffic.add(Traffic::IncorrectPrefetch,
+                              hierConfig_.l1d.lineBytes);
+            }
+            fetchedOffChip_.erase(it);
+        }
+        if (pred_) {
+            PrefetchFeedback fb;
+            fb.target = victim_addr;
+            fb.useless = true;
+            pred_->feedback(fb);
+        }
+        return;
+    }
+
+    if (by_prefetch) {
+        // A live block evicted by a prefetch fill: if it misses again
+        // later, that miss is a premature ("early") eviction.
+        earlyMarked_.insert(victim_addr);
+    }
+}
+
+void
+TraceEngine::issuePrefetch(const PrefetchRequest &req)
+{
+    CoverageStats &s = buckets_[current_];
+    const Addr block = hier_.l1d().blockAlign(req.target);
+
+    if (req.intoL1) {
+        const PrefetchOutcome out =
+            hier_.prefetch(req.target, req.predictedVictim);
+        if (out.alreadyInL1) {
+            if (pred_) {
+                PrefetchFeedback fb;
+                fb.target = req.target;
+                fb.useless = true;
+                pred_->feedback(fb);
+            }
+            return;
+        }
+        fetchedOffChip_[block] = !out.l2Hit;
+        earlyMarked_.erase(block); // the prefetch restored it in time
+        if (out.l1Evicted && pred_)
+            pred_->onPrefetchEviction(out.l1VictimAddr, req.target);
+    } else {
+        // Conventional prefetch: install into L2 only.
+        if (hier_.l2().probe(block))
+            return;
+        hier_.l2().fill(block);
+        fetchedOffChip_[block] = true;
+        s.traffic.add(Traffic::BaseData, 0); // classified on outcome
+    }
+}
+
+void
+TraceEngine::drainPredictor()
+{
+    if (!pred_)
+        return;
+    for (const PrefetchRequest &req : pred_->drainRequests())
+        issuePrefetch(req);
+    const auto [write_bytes, read_bytes] = pred_->drainMetaTraffic();
+    CoverageStats &s = buckets_[current_];
+    s.traffic.add(Traffic::SequenceCreate, write_bytes);
+    s.traffic.add(Traffic::SequenceFetch, read_bytes);
+}
+
+void
+TraceEngine::step(const MemRef &ref)
+{
+    CoverageStats &s = buckets_[current_];
+    s.accesses++;
+    s.instructions += 1 + ref.nonMemGap;
+
+    const HierOutcome out = hier_.access(ref.addr, ref.op);
+    const Addr block = hier_.l1d().blockAlign(ref.addr);
+
+    if (out.l1Hit()) {
+        if (out.l1HitOnPrefetch) {
+            // A miss eliminated by the predictor.
+            s.correct++;
+            // Charge the block transfer the demand fetch would have
+            // performed anyway.
+            auto it = fetchedOffChip_.find(block);
+            if (it != fetchedOffChip_.end()) {
+                if (it->second) {
+                    s.traffic.add(Traffic::BaseData,
+                                  hierConfig_.l1d.lineBytes);
+                }
+                fetchedOffChip_.erase(it);
+            }
+            if (pred_) {
+                PrefetchFeedback fb;
+                fb.target = ref.addr;
+                fb.useless = false;
+                pred_->feedback(fb);
+            }
+        }
+    } else {
+        s.l1Misses++;
+        if (earlyMarked_.erase(block))
+            s.early++;
+        if (out.level == HitLevel::Memory) {
+            s.l2Misses++;
+            s.traffic.add(Traffic::BaseData, hierConfig_.l1d.lineBytes);
+        } else if (out.l2HitOnPrefetch) {
+            // L2 prefetch (GHB-style) turned an off-chip miss into an
+            // L2 hit: account its off-chip transfer as base data.
+            auto it = fetchedOffChip_.find(block);
+            if (it != fetchedOffChip_.end()) {
+                if (it->second) {
+                    s.traffic.add(Traffic::BaseData,
+                                  hierConfig_.l1d.lineBytes);
+                }
+                fetchedOffChip_.erase(it);
+            }
+            if (pred_) {
+                PrefetchFeedback fb;
+                fb.target = ref.addr;
+                fb.useless = false;
+                pred_->feedback(fb);
+            }
+        }
+    }
+
+    if (pred_) {
+        pred_->observe(ref, out);
+        drainPredictor();
+    }
+}
+
+std::uint64_t
+TraceEngine::run(TraceSource &src, std::uint64_t refs)
+{
+    MemRef ref;
+    std::uint64_t done = 0;
+    while (done < refs && src.next(ref)) {
+        step(ref);
+        done++;
+    }
+    return done;
+}
+
+CoverageStats
+runWithOpportunity(const HierarchyConfig &hier_config, Prefetcher *pred,
+                   TraceSource &workload, std::uint64_t refs)
+{
+    // Baseline pass: measures prediction opportunity.
+    workload.reset();
+    std::uint64_t opportunity = 0;
+    {
+        TraceEngine base(hier_config, nullptr);
+        base.run(workload, refs);
+        opportunity = base.stats().l1Misses;
+    }
+
+    // Predictor pass over the identical stream.
+    workload.reset();
+    TraceEngine engine(hier_config, pred);
+    engine.run(workload, refs);
+    CoverageStats stats = engine.stats();
+    stats.opportunity = opportunity;
+    return stats;
+}
+
+} // namespace ltc

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Trace-driven simulation engine.
+ *
+ * Drives a reference stream through the functional cache hierarchy
+ * and a predictor, and classifies every prediction-opportunity cache
+ * miss the way Figure 8 of the paper does:
+ *
+ *  - correct:   a miss eliminated by a prefetch (the demand access
+ *               hit a prefetched, never-yet-touched L1D block),
+ *  - incorrect: a predicted-but-wrong replacement address (measured
+ *               as prefetched blocks evicted unused),
+ *  - train:     a miss the predictor made no (confident) prediction
+ *               for,
+ *  - early:     an extra miss caused by the predictor evicting a
+ *               still-live block (reported above 100% in the paper).
+ *
+ * Prediction opportunity (the denominator) is the L1D miss count of a
+ * baseline run without a predictor over the identical stream.
+ *
+ * The engine supports multiple stat buckets so the multi-programmed
+ * experiments (Section 5.5) can attribute events to the application
+ * that caused them.
+ */
+
+#ifndef LTC_SIM_TRACE_ENGINE_HH
+#define LTC_SIM_TRACE_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "mem/bandwidth.hh"
+#include "pred/prefetcher.hh"
+#include "trace/trace.hh"
+#include "util/types.hh"
+
+namespace ltc
+{
+
+/** Per-bucket coverage and traffic statistics. */
+struct CoverageStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+
+    std::uint64_t correct = 0;
+    std::uint64_t uselessPrefetches = 0;
+    std::uint64_t early = 0;
+    /** Baseline misses over the same stream (set by the harness). */
+    std::uint64_t opportunity = 0;
+
+    std::uint64_t instructions = 0; //!< memory refs + nonMemGap
+
+    BandwidthAccount traffic;
+
+    /** Misses attributed to wrong predictions (Fig. 8 "incorrect"). */
+    std::uint64_t
+    incorrect() const
+    {
+        const std::uint64_t remaining =
+            l1Misses > early ? l1Misses - early : 0;
+        return std::min(uselessPrefetches, remaining);
+    }
+
+    /** Misses with no prediction (Fig. 8 "train"). */
+    std::uint64_t
+    train() const
+    {
+        const std::uint64_t remaining =
+            l1Misses > early ? l1Misses - early : 0;
+        return remaining - incorrect();
+    }
+
+    /** Fraction of opportunity eliminated. */
+    double
+    coverage() const
+    {
+        return opportunity ? static_cast<double>(correct) /
+                static_cast<double>(opportunity)
+                           : 0.0;
+    }
+
+    double l1MissRate() const
+    {
+        return accesses ? static_cast<double>(l1Misses) /
+                static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+class TraceEngine : public CacheListener
+{
+  public:
+    /**
+     * @param hier_config Hierarchy configuration.
+     * @param pred        Predictor driven by the engine (may be null
+     *                    for baseline runs); not owned.
+     * @param buckets     Number of stat buckets (>= 1).
+     */
+    TraceEngine(const HierarchyConfig &hier_config, Prefetcher *pred,
+                std::uint32_t buckets = 1);
+    ~TraceEngine() override;
+
+    TraceEngine(const TraceEngine &) = delete;
+    TraceEngine &operator=(const TraceEngine &) = delete;
+
+    /** Route subsequent events to bucket @p bucket. */
+    void selectBucket(std::uint32_t bucket);
+
+    /** Process one reference. */
+    void step(const MemRef &ref);
+
+    /** Process up to @p refs references from @p src. */
+    std::uint64_t run(TraceSource &src, std::uint64_t refs);
+
+    const CoverageStats &stats(std::uint32_t bucket = 0) const;
+    CoverageStats &stats(std::uint32_t bucket = 0);
+
+    CacheHierarchy &hierarchy() { return hier_; }
+    Prefetcher *predictor() { return pred_; }
+
+    // CacheListener (L1D eviction events).
+    void onEviction(Addr victim_addr, Addr incoming_addr,
+                    std::uint32_t set, bool by_prefetch,
+                    bool victim_was_untouched_prefetch) override;
+
+  private:
+    void issuePrefetch(const PrefetchRequest &req);
+    void drainPredictor();
+
+    HierarchyConfig hierConfig_;
+    CacheHierarchy hier_;
+    Prefetcher *pred_;
+    std::vector<CoverageStats> buckets_;
+    std::uint32_t current_ = 0;
+
+    /** Blocks evicted by prefetch fills while still live. */
+    std::unordered_set<Addr> earlyMarked_;
+    /** Prefetched blocks fetched off chip, awaiting classification. */
+    std::unordered_map<Addr, bool> fetchedOffChip_;
+    /** Listener adapter for L2 (classifies GHB-style L2 prefetches). */
+    class L2Listener;
+    std::unique_ptr<L2Listener> l2Listener_;
+};
+
+/**
+ * Convenience harness: run @p workload for @p refs against
+ * @p hier_config with @p pred, after measuring opportunity with a
+ * baseline (predictor-less) pass over the identical stream.
+ */
+CoverageStats runWithOpportunity(const HierarchyConfig &hier_config,
+                                 Prefetcher *pred, TraceSource &workload,
+                                 std::uint64_t refs);
+
+} // namespace ltc
+
+#endif // LTC_SIM_TRACE_ENGINE_HH

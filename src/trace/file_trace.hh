@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Binary trace file reader/writer.
+ *
+ * Lets users capture a reference stream once (e.g. from their own
+ * instrumentation) and replay it through any engine in this library.
+ * Format: 16-byte header ("LTCTRACE", version, record count) followed
+ * by packed little-endian records.
+ */
+
+#ifndef LTC_TRACE_FILE_TRACE_HH
+#define LTC_TRACE_FILE_TRACE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "util/types.hh"
+
+namespace ltc
+{
+
+/** Write @p refs to @p path; fatal error on I/O failure. */
+void writeTraceFile(const std::string &path,
+                    const std::vector<MemRef> &refs);
+
+/** Read an entire trace file; fatal error on malformed input. */
+std::vector<MemRef> readTraceFile(const std::string &path);
+
+/** TraceSource that replays a trace file (loaded eagerly). */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(const std::string &path);
+
+    bool next(MemRef &out) override;
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return name_; }
+
+    std::size_t size() const { return refs_.size(); }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::size_t pos_ = 0;
+    std::string name_;
+};
+
+} // namespace ltc
+
+#endif // LTC_TRACE_FILE_TRACE_HH

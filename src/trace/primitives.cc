@@ -1,0 +1,413 @@
+#include "trace/primitives.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+namespace
+{
+
+/** Word offset within a block for the k-th access to that block. */
+constexpr Addr
+wordOffset(std::uint32_t k, std::uint64_t block_bytes)
+{
+    return (static_cast<Addr>(k) * 8) % block_bytes;
+}
+
+} // namespace
+
+//
+// StridedScanSource
+//
+
+StridedScanSource::StridedScanSource(std::vector<ScanArray> arrays,
+                                     std::uint32_t non_mem_gap,
+                                     std::string name)
+    : arrays_(std::move(arrays)), gap_(non_mem_gap),
+      name_(std::move(name))
+{
+    ltc_assert(!arrays_.empty(), "StridedScanSource with no arrays");
+    for (const auto &a : arrays_) {
+        ltc_assert(a.blocks > 0, "ScanArray with zero blocks");
+        ltc_assert(a.accessesPerBlock > 0,
+                   "ScanArray with zero accessesPerBlock");
+    }
+}
+
+bool
+StridedScanSource::next(MemRef &out)
+{
+    const ScanArray &a = arrays_[arrayIdx_];
+
+    Addr base = a.base;
+    if (a.advancePerIter) {
+        const std::uint64_t wrap =
+            a.wrapBytes ? a.wrapBytes : (std::uint64_t{1} << 30);
+        base += (iter_ * a.advancePerIter) % wrap;
+    }
+
+    out.pc = a.pc + accessIdx_ * 4;
+    out.addr = base + blockIdx_ * defaultBlockSize +
+        wordOffset(accessIdx_, defaultBlockSize);
+    out.op = a.stores ? MemOp::Store : MemOp::Load;
+    out.nonMemGap = gap_;
+    out.dependsOnPrev = false;
+
+    // Advance position: accesses within block, blocks within array,
+    // arrays within iteration.
+    if (++accessIdx_ >= a.accessesPerBlock) {
+        accessIdx_ = 0;
+        if (++blockIdx_ >= a.blocks) {
+            blockIdx_ = 0;
+            if (++arrayIdx_ >= arrays_.size()) {
+                arrayIdx_ = 0;
+                iter_++;
+            }
+        }
+    }
+    return true;
+}
+
+void
+StridedScanSource::reset()
+{
+    arrayIdx_ = 0;
+    blockIdx_ = 0;
+    accessIdx_ = 0;
+    iter_ = 0;
+}
+
+//
+// PointerChaseSource
+//
+
+PointerChaseSource::PointerChaseSource(PointerChaseParams params,
+                                       std::string name)
+    : params_(params), name_(std::move(name)), rng_(params.seed)
+{
+    ltc_assert(params_.nodes >= 2, "PointerChaseSource needs >= 2 nodes");
+    ltc_assert(params_.nodes <= (std::uint64_t{1} << 32),
+               "PointerChaseSource node count exceeds u32 index space");
+    ltc_assert(params_.accessesPerNode > 0,
+               "PointerChaseSource zero accessesPerNode");
+    ltc_assert(params_.shuffle >= 0.0 && params_.shuffle <= 1.0,
+               "shuffle fraction out of [0,1]");
+    buildChain();
+}
+
+Addr
+PointerChaseSource::nodeAddr(std::uint64_t i) const
+{
+    return params_.base + i * params_.nodeBytes;
+}
+
+void
+PointerChaseSource::buildChain()
+{
+    const auto n = static_cast<std::uint32_t>(params_.nodes);
+    // Build a single n-cycle visiting every node. Start from the
+    // layout-order cycle 0 -> 1 -> ... -> n-1 -> 0 expressed as a
+    // visit order, optionally shuffle the visit order (Sattolo-style
+    // partial shuffle keyed by the shuffle fraction), then derive
+    // successor links.
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    if (params_.shuffle > 0.0) {
+        const auto shuffled =
+            static_cast<std::uint32_t>(params_.shuffle * n);
+        // Fisher-Yates over the first `shuffled` positions, drawing
+        // partners from the whole array.
+        for (std::uint32_t i = 0; i < shuffled; i++) {
+            const auto j =
+                static_cast<std::uint32_t>(rng_.range(i, n - 1));
+            std::swap(order[i], order[j]);
+        }
+    }
+    successor_.assign(n, 0);
+    for (std::uint32_t i = 0; i < n; i++)
+        successor_[order[i]] = order[(i + 1) % n];
+    cur_ = order[0];
+}
+
+void
+PointerChaseSource::mutate()
+{
+    const auto n = static_cast<std::uint32_t>(params_.nodes);
+    const auto count = static_cast<std::uint64_t>(
+        params_.mutateFraction * static_cast<double>(n));
+    // Relink by transposing successors of random node pairs. Swapping
+    // the successors of a and b splices the cycle differently but
+    // keeps every node reachable iff the two nodes were in the same
+    // cycle; a transposition of two elements of a single cycle always
+    // yields two cycles, and a second transposition can rejoin them.
+    // To guarantee the traversal still visits a full cycle we instead
+    // reverse random segments of the visit order, which preserves the
+    // single-cycle property.
+    std::vector<std::uint32_t> order(n);
+    std::uint32_t node = static_cast<std::uint32_t>(cur_);
+    for (std::uint32_t i = 0; i < n; i++) {
+        order[i] = node;
+        node = successor_[node];
+    }
+    std::uint64_t mutated = 0;
+    while (mutated < count) {
+        const auto lo = static_cast<std::uint32_t>(rng_.below(n));
+        const auto len = static_cast<std::uint32_t>(
+            rng_.range(2, std::min<std::uint64_t>(64, n)));
+        const auto hi = std::min<std::uint32_t>(n - 1, lo + len);
+        std::reverse(order.begin() + lo, order.begin() + hi);
+        mutated += hi - lo;
+    }
+    for (std::uint32_t i = 0; i < n; i++)
+        successor_[order[i]] = order[(i + 1) % n];
+    cur_ = order[0];
+}
+
+bool
+PointerChaseSource::next(MemRef &out)
+{
+    out.pc = params_.pc + accessIdx_ * 4;
+    out.addr = nodeAddr(cur_) + wordOffset(accessIdx_, params_.nodeBytes);
+    out.op = MemOp::Load;
+    out.nonMemGap = params_.nonMemGap;
+    // The first access to a node dereferences the pointer loaded from
+    // the previous node; subsequent same-node accesses hit the block.
+    out.dependsOnPrev = accessIdx_ == 0;
+
+    if (++accessIdx_ >= params_.accessesPerNode) {
+        accessIdx_ = 0;
+        cur_ = successor_[cur_];
+        if (++visited_ >= params_.nodes) {
+            visited_ = 0;
+            iter_++;
+            if (params_.mutateEveryIters &&
+                iter_ % params_.mutateEveryIters == 0 &&
+                params_.mutateFraction > 0.0) {
+                mutate();
+            }
+        }
+    }
+    return true;
+}
+
+void
+PointerChaseSource::reset()
+{
+    rng_.reseed(params_.seed);
+    visited_ = 0;
+    accessIdx_ = 0;
+    iter_ = 0;
+    buildChain();
+}
+
+//
+// TreeWalkSource
+//
+
+TreeWalkSource::TreeWalkSource(TreeWalkParams params, std::string name)
+    : params_(params), name_(std::move(name))
+{
+    ltc_assert(params_.nodes >= 1, "TreeWalkSource needs >= 1 node");
+    ltc_assert(params_.accessesPerNode > 0,
+               "TreeWalkSource zero accessesPerNode");
+
+    const auto n = static_cast<std::uint32_t>(params_.nodes);
+
+    placement_.resize(n);
+    std::iota(placement_.begin(), placement_.end(), 0);
+    if (!params_.regularLayout) {
+        Rng rng(params_.seed);
+        for (std::uint32_t i = n; i > 1; i--) {
+            const auto j = static_cast<std::uint32_t>(rng.below(i));
+            std::swap(placement_[i - 1], placement_[j]);
+        }
+    }
+
+    // Iterative pre-order DFS over the implicit complete binary tree
+    // rooted at index 0 (children of i are 2i+1 and 2i+2).
+    order_.reserve(n);
+    std::vector<std::uint32_t> stack;
+    stack.push_back(0);
+    while (!stack.empty()) {
+        const std::uint32_t i = stack.back();
+        stack.pop_back();
+        if (i >= n)
+            continue;
+        order_.push_back(i);
+        // Push right child first so the left subtree is visited first.
+        stack.push_back(2 * i + 2);
+        stack.push_back(2 * i + 1);
+    }
+    ltc_assert(order_.size() == n, "DFS order incomplete");
+}
+
+bool
+TreeWalkSource::next(MemRef &out)
+{
+    const std::uint32_t node = order_[pos_];
+    const Addr addr = params_.base +
+        static_cast<Addr>(placement_[node]) * params_.nodeBytes;
+
+    out.pc = params_.pc + accessIdx_ * 4;
+    out.addr = addr + wordOffset(accessIdx_, params_.nodeBytes);
+    out.op = MemOp::Load;
+    out.nonMemGap = params_.nonMemGap;
+    out.dependsOnPrev = accessIdx_ == 0;
+
+    if (++accessIdx_ >= params_.accessesPerNode) {
+        accessIdx_ = 0;
+        if (++pos_ >= order_.size()) {
+            pos_ = 0;
+            iter_++;
+        }
+    }
+    return true;
+}
+
+void
+TreeWalkSource::reset()
+{
+    pos_ = 0;
+    accessIdx_ = 0;
+    iter_ = 0;
+}
+
+//
+// HashProbeSource
+//
+
+HashProbeSource::HashProbeSource(HashProbeParams params, std::string name)
+    : params_(params), name_(std::move(name)), rng_(params.seed)
+{
+    ltc_assert(params_.blocks > 0, "HashProbeSource with zero blocks");
+    // The hot subset cannot exceed the region; clamp so callers can
+    // leave the default hotBlocks with small regions.
+    params_.hotBlocks = std::min(params_.hotBlocks, params_.blocks);
+    ltc_assert(params_.hotFraction >= 0.0 && params_.hotFraction <= 1.0,
+               "hotFraction out of [0,1]");
+    ltc_assert(params_.pcCount > 0, "HashProbeSource zero pcCount");
+}
+
+bool
+HashProbeSource::next(MemRef &out)
+{
+    std::uint64_t block;
+    if (params_.hotFraction > 0.0 && rng_.chance(params_.hotFraction))
+        block = rng_.below(std::max<std::uint64_t>(1, params_.hotBlocks));
+    else
+        block = rng_.below(params_.blocks);
+
+    out.pc = params_.pc + (count_ % params_.pcCount) * 4;
+    out.addr = params_.base + block * params_.blockStride *
+        defaultBlockSize;
+    out.op = rng_.chance(params_.storeFraction) ? MemOp::Store
+                                                : MemOp::Load;
+    out.nonMemGap = params_.nonMemGap;
+    out.dependsOnPrev = false;
+    count_++;
+    return true;
+}
+
+void
+HashProbeSource::reset()
+{
+    rng_.reseed(params_.seed);
+    count_ = 0;
+}
+
+//
+// InterleaveSource
+//
+
+InterleaveSource::InterleaveSource(
+    std::vector<std::unique_ptr<TraceSource>> children,
+    std::vector<std::uint32_t> chunks, std::string name)
+    : children_(std::move(children)), chunks_(std::move(chunks)),
+      name_(std::move(name))
+{
+    ltc_assert(!children_.empty(), "InterleaveSource with no children");
+    ltc_assert(children_.size() == chunks_.size(),
+               "InterleaveSource children/chunks size mismatch");
+    for (auto c : chunks_)
+        ltc_assert(c > 0, "InterleaveSource zero chunk length");
+}
+
+bool
+InterleaveSource::next(MemRef &out)
+{
+    // A child that ends is skipped; the stream ends when all end.
+    for (std::size_t attempts = 0; attempts < children_.size();
+         attempts++) {
+        if (children_[childIdx_]->next(out)) {
+            if (++inChunk_ >= chunks_[childIdx_]) {
+                inChunk_ = 0;
+                childIdx_ = (childIdx_ + 1) % children_.size();
+            }
+            return true;
+        }
+        inChunk_ = 0;
+        childIdx_ = (childIdx_ + 1) % children_.size();
+    }
+    return false;
+}
+
+void
+InterleaveSource::reset()
+{
+    for (auto &c : children_)
+        c->reset();
+    childIdx_ = 0;
+    inChunk_ = 0;
+}
+
+//
+// PhaseSequenceSource
+//
+
+PhaseSequenceSource::PhaseSequenceSource(
+    std::vector<std::unique_ptr<TraceSource>> children,
+    std::vector<std::uint64_t> lengths, std::string name)
+    : children_(std::move(children)), lengths_(std::move(lengths)),
+      name_(std::move(name))
+{
+    ltc_assert(!children_.empty(), "PhaseSequenceSource with no children");
+    ltc_assert(children_.size() == lengths_.size(),
+               "PhaseSequenceSource children/lengths size mismatch");
+    for (auto l : lengths_)
+        ltc_assert(l > 0, "PhaseSequenceSource zero phase length");
+}
+
+bool
+PhaseSequenceSource::next(MemRef &out)
+{
+    for (std::size_t attempts = 0; attempts <= children_.size();
+         attempts++) {
+        if (inPhase_ >= lengths_[childIdx_]) {
+            inPhase_ = 0;
+            childIdx_ = (childIdx_ + 1) % children_.size();
+        }
+        if (children_[childIdx_]->next(out)) {
+            inPhase_++;
+            return true;
+        }
+        // Child exhausted: move on.
+        inPhase_ = lengths_[childIdx_];
+    }
+    return false;
+}
+
+void
+PhaseSequenceSource::reset()
+{
+    for (auto &c : children_)
+        c->reset();
+    childIdx_ = 0;
+    inPhase_ = 0;
+}
+
+} // namespace ltc

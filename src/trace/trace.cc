@@ -1,0 +1,95 @@
+#include "trace/trace.hh"
+
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+VectorTrace::VectorTrace(std::vector<MemRef> refs, std::string name)
+    : refs_(std::move(refs)), name_(std::move(name))
+{
+}
+
+bool
+VectorTrace::next(MemRef &out)
+{
+    if (pos_ >= refs_.size())
+        return false;
+    out = refs_[pos_++];
+    return true;
+}
+
+LimitSource::LimitSource(std::unique_ptr<TraceSource> inner,
+                         std::uint64_t limit)
+    : inner_(std::move(inner)), limit_(limit)
+{
+    ltc_assert(inner_ != nullptr, "LimitSource with null inner source");
+}
+
+bool
+LimitSource::next(MemRef &out)
+{
+    if (produced_ >= limit_)
+        return false;
+    if (!inner_->next(out))
+        return false;
+    produced_++;
+    return true;
+}
+
+void
+LimitSource::reset()
+{
+    inner_->reset();
+    produced_ = 0;
+}
+
+ShiftSource::ShiftSource(std::unique_ptr<TraceSource> inner, Addr offset)
+    : inner_(std::move(inner)), offset_(offset)
+{
+    ltc_assert(inner_ != nullptr, "ShiftSource with null inner source");
+}
+
+bool
+ShiftSource::next(MemRef &out)
+{
+    if (!inner_->next(out))
+        return false;
+    out.addr += offset_;
+    return true;
+}
+
+CaptureSource::CaptureSource(std::unique_ptr<TraceSource> inner)
+    : inner_(std::move(inner))
+{
+    ltc_assert(inner_ != nullptr, "CaptureSource with null inner source");
+}
+
+bool
+CaptureSource::next(MemRef &out)
+{
+    if (!inner_->next(out))
+        return false;
+    captured_.push_back(out);
+    return true;
+}
+
+void
+CaptureSource::reset()
+{
+    inner_->reset();
+    captured_.clear();
+}
+
+std::vector<MemRef>
+collect(TraceSource &source, std::uint64_t limit)
+{
+    std::vector<MemRef> refs;
+    refs.reserve(limit);
+    MemRef ref;
+    while (refs.size() < limit && source.next(ref))
+        refs.push_back(ref);
+    return refs;
+}
+
+} // namespace ltc

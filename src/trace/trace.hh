@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Memory-reference trace abstraction.
+ *
+ * Every simulator engine in this repository consumes a TraceSource: a
+ * pull-based stream of MemRef records. Synthetic workload generators
+ * (trace/workloads.hh), file readers (trace/file_trace.hh) and
+ * in-memory replay buffers all implement this interface, so the same
+ * engine runs the paper's trace-driven studies and the cycle-accurate
+ * timing experiments.
+ */
+
+#ifndef LTC_TRACE_TRACE_HH
+#define LTC_TRACE_TRACE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace ltc
+{
+
+/**
+ * A stream of memory references.
+ *
+ * Sources may be finite (next() eventually returns false) or infinite
+ * (workload generators loop forever; engines bound them by reference
+ * count). reset() restarts the stream from its beginning with identical
+ * content — determinism is a hard requirement for reproducible
+ * experiments.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @param out Filled in on success.
+     * @retval true a record was produced.
+     * @retval false end of trace.
+     */
+    virtual bool next(MemRef &out) = 0;
+
+    /** Restart the stream; the replayed content must be identical. */
+    virtual void reset() = 0;
+
+    /** Short identifier used in stats and tables. */
+    virtual std::string name() const = 0;
+};
+
+/** Replay of an in-memory vector of references. */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<MemRef> refs,
+                         std::string name = "vector");
+
+    bool next(MemRef &out) override;
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return name_; }
+
+    std::size_t size() const { return refs_.size(); }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::size_t pos_ = 0;
+    std::string name_;
+};
+
+/** Bounds a (possibly infinite) source to at most @c limit records. */
+class LimitSource : public TraceSource
+{
+  public:
+    LimitSource(std::unique_ptr<TraceSource> inner, std::uint64_t limit);
+
+    bool next(MemRef &out) override;
+    void reset() override;
+    std::string name() const override { return inner_->name(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    std::uint64_t limit_;
+    std::uint64_t produced_ = 0;
+};
+
+/** Adds a constant byte offset to every address (multi-programming). */
+class ShiftSource : public TraceSource
+{
+  public:
+    ShiftSource(std::unique_ptr<TraceSource> inner, Addr offset);
+
+    bool next(MemRef &out) override;
+    void reset() override { inner_->reset(); }
+    std::string name() const override { return inner_->name(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    Addr offset_;
+};
+
+/**
+ * Tees every record produced by @c inner into a capture buffer; used
+ * by analyses that need to replay the identical stream several times.
+ */
+class CaptureSource : public TraceSource
+{
+  public:
+    explicit CaptureSource(std::unique_ptr<TraceSource> inner);
+
+    bool next(MemRef &out) override;
+    void reset() override;
+    std::string name() const override { return inner_->name(); }
+
+    const std::vector<MemRef> &captured() const { return captured_; }
+    std::vector<MemRef> takeCaptured() { return std::move(captured_); }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    std::vector<MemRef> captured_;
+};
+
+/** Materialise the first @p limit records of @p source into a vector. */
+std::vector<MemRef> collect(TraceSource &source, std::uint64_t limit);
+
+} // namespace ltc
+
+#endif // LTC_TRACE_TRACE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Named synthetic workloads reproducing the paper's benchmark suite.
+ *
+ * The paper evaluates all of SPEC CPU2000 except vpr, plus three
+ * pointer-intensive Olden benchmarks (bh, em3d, treeadd). SPEC
+ * binaries and SimpleScalar are not available here, so each benchmark
+ * is replaced by a deterministic generator composed from the
+ * primitives in trace/primitives.hh and calibrated to the benchmark's
+ * published characteristics:
+ *
+ *  - approximate baseline L1D/L2 miss rates (Table 2),
+ *  - temporal-correlation class (Fig. 6): perfectly correlated loop
+ *    code, partially correlated mixes, or uncorrelated hashed access,
+ *  - dependence structure: array code vs pointer chasing,
+ *  - footprint class, which determines off-chip sequence storage
+ *    demand (Fig. 10) and finite-DBCP behaviour (Fig. 4).
+ *
+ * Footprints are scaled down ~8x from the originals so whole
+ * experiments run in seconds; the `scale` parameter restores larger
+ * footprints when desired.
+ */
+
+#ifndef LTC_TRACE_WORKLOADS_HH
+#define LTC_TRACE_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace ltc
+{
+
+/** Benchmark suite a workload belongs to. */
+enum class Suite
+{
+    SPECint,
+    SPECfp,
+    Olden,
+};
+
+const char *suiteName(Suite suite);
+
+/** Catalogue entry describing one named workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    Suite suite;
+    /** One-line description of the access-pattern recipe. */
+    std::string description;
+    /**
+     * References in one outer iteration of the workload's dominant
+     * loop; engines use this to size training and measurement windows.
+     */
+    std::uint64_t refsPerIteration;
+};
+
+/** All workloads in catalogue order (matches the paper's Table 2). */
+const std::vector<WorkloadInfo> &workloadCatalog();
+
+/** Names only, in catalogue order. */
+std::vector<std::string> workloadNames();
+
+/** Catalogue entry for @p name; fatal error if unknown. */
+const WorkloadInfo &workloadInfo(const std::string &name);
+
+/** True if @p name is a known workload. */
+bool isWorkload(const std::string &name);
+
+/**
+ * Instantiate the generator for workload @p name.
+ *
+ * @param name   Benchmark name (e.g. "mcf", "swim", "em3d").
+ * @param seed   Seed for any randomised layout/probing decisions.
+ * @param scale  Footprint multiplier (1.0 = default scaled-down size).
+ */
+std::unique_ptr<TraceSource> makeWorkload(const std::string &name,
+                                          std::uint64_t seed = 1,
+                                          double scale = 1.0);
+
+/**
+ * The subset of workloads a bench should run, honouring the
+ * LTC_WORKLOADS environment variable (comma-separated names, "all",
+ * or "quick" for a representative 8-benchmark subset).
+ */
+std::vector<std::string> selectedWorkloads();
+
+/**
+ * Reference budget for experiments, honouring the LTC_REFS
+ * environment variable; defaults to @p fallback.
+ */
+std::uint64_t refBudget(std::uint64_t fallback);
+
+/**
+ * Suggested reference budget for workload @p name: enough outer-loop
+ * iterations (~6) for predictor training and steady-state coverage to
+ * be visible, clamped to a practical range.
+ */
+std::uint64_t suggestedRefs(const std::string &name);
+
+} // namespace ltc
+
+#endif // LTC_TRACE_WORKLOADS_HH

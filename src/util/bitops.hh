@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bit manipulation helpers used by cache indexing, signature packing
+ * and the off-chip frame mapping.
+ */
+
+#ifndef LTC_UTIL_BITOPS_HH
+#define LTC_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v | 1));
+}
+
+/** log2 of a power of two (panics otherwise). */
+inline unsigned
+exactLog2(std::uint64_t v)
+{
+    ltc_assert(isPowerOf2(v), "exactLog2 of non-power-of-two ", v);
+    return floorLog2(v);
+}
+
+/** Smallest power of two >= v (v=0 yields 1). */
+constexpr std::uint64_t
+ceilPowerOf2(std::uint64_t v)
+{
+    if (v <= 1)
+        return 1;
+    return std::uint64_t{1} << (64u - std::countl_zero(v - 1));
+}
+
+/** Mask selecting the low @p bits bits. */
+constexpr std::uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << bits) - 1;
+}
+
+/** Extract bits [first, first+count) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned first, unsigned count)
+{
+    return (v >> first) & mask(count);
+}
+
+/** Align @p addr down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace ltc
+
+#endif // LTC_UTIL_BITOPS_HH

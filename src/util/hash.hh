@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hash functions for last-touch history traces and signatures.
+ *
+ * DBCP and LT-cords both compress an unbounded PC trace into a
+ * fixed-width "history trace hash" by folding each committed PC into a
+ * running value (the "truncated addition followed by rotation" family
+ * used by the DBCP paper). Signature construction then mixes the trace
+ * hash with cache tags. All hashes here are deterministic and
+ * platform-independent so traces and experiment results are
+ * reproducible bit-for-bit.
+ */
+
+#ifndef LTC_UTIL_HASH_HH
+#define LTC_UTIL_HASH_HH
+
+#include <cstdint>
+
+namespace ltc
+{
+
+/** Finalizer from MurmurHash3; a cheap full-avalanche 64-bit mixer. */
+constexpr std::uint64_t
+mix64(std::uint64_t k)
+{
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    k ^= k >> 33;
+    return k;
+}
+
+/** Combine two 64-bit values (boost::hash_combine style, 64-bit). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t v)
+{
+    return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                   (seed >> 2));
+}
+
+/**
+ * Incremental last-touch history trace hash.
+ *
+ * Each committed memory instruction's PC is folded into the running
+ * trace encoding; the encoding is reset on every eviction from the
+ * history table entry's set (Section 4.1). Rotate-then-xor keeps the
+ * hash order-sensitive, which DBCP requires: {PCi, PCj} and
+ * {PCj, PCi} are distinct traces.
+ */
+class TraceHash
+{
+  public:
+    /** Fold one PC into the running trace encoding. */
+    void
+    update(std::uint64_t pc)
+    {
+        std::uint64_t v = value_;
+        v = (v << 7) | (v >> 57); // rotl 7
+        v ^= mix64(pc);
+        value_ = v;
+        length_++;
+    }
+
+    /** Reset on set eviction. */
+    void
+    clear()
+    {
+        value_ = 0;
+        length_ = 0;
+    }
+
+    std::uint64_t value() const { return value_; }
+
+    /** Number of PCs folded in since the last clear. */
+    std::uint32_t length() const { return length_; }
+
+  private:
+    std::uint64_t value_ = 0;
+    std::uint32_t length_ = 0;
+};
+
+} // namespace ltc
+
+#endif // LTC_UTIL_HASH_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic
+ * workload generators.
+ *
+ * We use our own xoshiro256** implementation rather than <random>
+ * engines so that every workload trace is reproducible bit-for-bit
+ * across standard libraries and platforms: experiment results in
+ * EXPERIMENTS.md depend on it.
+ */
+
+#ifndef LTC_UTIL_RANDOM_HH
+#define LTC_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+/** xoshiro256** by Blackman & Vigna; seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to spread a small seed over the full state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            word = mix64(x);
+        }
+        if (!(state_[0] | state_[1] | state_[2] | state_[3]))
+            state_[0] = 1; // all-zero state is a fixed point
+    }
+
+    /** Next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        ltc_assert(bound != 0, "Rng::below(0)");
+        // Lemire's nearly-divisionless bounded generation.
+        __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = (~bound + 1) % bound;
+            while (lo < threshold) {
+                m = static_cast<__uint128_t>(next()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        ltc_assert(lo <= hi, "Rng::range lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace ltc
+
+#endif // LTC_UTIL_RANDOM_HH

@@ -1,0 +1,25 @@
+#include "util/types.hh"
+
+#include <sstream>
+
+namespace ltc
+{
+
+const char *
+memOpName(MemOp op)
+{
+    return op == MemOp::Load ? "load" : "store";
+}
+
+std::string
+to_string(const MemRef &ref)
+{
+    std::ostringstream os;
+    os << "pc=0x" << std::hex << ref.pc << " addr=0x" << ref.addr
+       << std::dec << " " << memOpName(ref.op)
+       << " gap=" << ref.nonMemGap
+       << (ref.dependsOnPrev ? " dep" : "");
+    return os.str();
+}
+
+} // namespace ltc

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the analyses: temporal correlation distances, dead times,
+ * and the energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/correlation.hh"
+#include "analysis/deadtime.hh"
+#include "analysis/energy.hh"
+#include "trace/primitives.hh"
+#include "trace/trace.hh"
+
+namespace ltc
+{
+namespace
+{
+
+CacheConfig
+tinyL1()
+{
+    CacheConfig c;
+    c.sizeBytes = 8 * 2 * 64; // 8 sets x 2 ways
+    c.assoc = 2;
+    return c;
+}
+
+//
+// CorrelationAnalysis
+//
+
+TEST(CorrelationTest, RepeatingScanIsPerfectlyCorrelated)
+{
+    ScanArray a;
+    a.base = 0x100000;
+    a.blocks = 64; // 4x the tiny cache
+    StridedScanSource src({a}, 0);
+    CorrelationAnalysis ca(tinyL1());
+    ca.run(src, 64 * 20);
+    auto result = ca.finish();
+    EXPECT_GT(result.misses, 500u);
+    // After warmup, every miss pair recurs in identical order.
+    EXPECT_GT(result.perfectFraction(), 0.8);
+    EXPECT_LT(result.uncorrelatedFraction(), 0.1);
+}
+
+TEST(CorrelationTest, RandomStreamIsUncorrelated)
+{
+    HashProbeParams p;
+    p.base = 0x100000;
+    p.blocks = 1 << 14;
+    HashProbeSource src(p);
+    CorrelationAnalysis ca(tinyL1());
+    ca.run(src, 5000);
+    auto result = ca.finish();
+    EXPECT_GT(result.uncorrelatedFraction(), 0.9);
+    EXPECT_LT(result.perfectFraction(), 0.05);
+}
+
+TEST(CorrelationTest, PointerChaseIsCorrelated)
+{
+    PointerChaseParams p;
+    p.nodes = 256;
+    p.seed = 3;
+    PointerChaseSource src(p);
+    CorrelationAnalysis ca(tinyL1());
+    ca.run(src, 256 * 16);
+    auto result = ca.finish();
+    EXPECT_GT(result.perfectFraction(), 0.7);
+}
+
+TEST(CorrelationTest, SequenceLengthsGrowWithRepetition)
+{
+    ScanArray a;
+    a.base = 0x100000;
+    a.blocks = 64;
+    StridedScanSource src({a}, 0);
+    CorrelationAnalysis ca(tinyL1());
+    ca.run(src, 64 * 30);
+    auto result = ca.finish();
+    // Correlated runs should reach at least one sweep in length.
+    EXPECT_GT(result.sequenceLength.percentile(0.9), 32u);
+}
+
+TEST(CorrelationTest, LastTouchDistanceSmallForScan)
+{
+    ScanArray a;
+    a.base = 0x100000;
+    a.blocks = 64;
+    StridedScanSource src({a}, 0);
+    CorrelationAnalysis ca(tinyL1());
+    ca.run(src, 64 * 20);
+    auto result = ca.finish();
+    // A pure sequential scan evicts in near last-touch order: the
+    // reorder distance should be tightly bounded (Fig. 7's point).
+    EXPECT_GT(result.lastTouchDistance.samples(), 100u);
+    EXPECT_LE(result.lastTouchDistance.percentile(0.98), 64u);
+}
+
+TEST(CorrelationTest, MixedStreamsReorderLastTouches)
+{
+    // Interleaving two scans in different sets produces the
+    // {A1,B1,B2,A2} reorderings of Section 3.2: distances beyond +-1
+    // must appear.
+    ScanArray a;
+    a.base = 0x100000;
+    a.blocks = 32;
+    a.pc = 0x100;
+    ScanArray b;
+    b.base = 0x200000;
+    b.blocks = 48;
+    b.pc = 0x200;
+    std::vector<std::unique_ptr<TraceSource>> kids;
+    kids.push_back(std::make_unique<StridedScanSource>(
+        std::vector<ScanArray>{a}, 0));
+    kids.push_back(std::make_unique<StridedScanSource>(
+        std::vector<ScanArray>{b}, 0));
+    InterleaveSource src(std::move(kids), {3, 2});
+    CorrelationAnalysis ca(tinyL1());
+    ca.run(src, 20000);
+    auto result = ca.finish();
+    const double at_one = result.lastTouchDistance.cdfAt(1);
+    EXPECT_LT(at_one, 0.95); // some reordering beyond +-1
+}
+
+//
+// DeadTimeAnalysis
+//
+
+TEST(DeadTimeTest, ScanDeadTimesSpanResidency)
+{
+    // In a sequential scan over 64 blocks with an 16-line cache, a
+    // block is touched once and evicted ~16 misses later: dead time
+    // ~= 16 accesses * cycles per access.
+    ScanArray a;
+    a.base = 0x100000;
+    a.blocks = 64;
+    StridedScanSource src({a}, 0);
+    DeadTimeAnalysis dt(tinyL1(), 10.0);
+    dt.run(src, 64 * 10);
+    EXPECT_GT(dt.histogram().samples(), 100u);
+    // Residency of 16 lines at 10 cycles/access: ~160 cycles.
+    EXPECT_GT(dt.fractionLongerThan(64), 0.9);
+    EXPECT_LT(dt.fractionLongerThan(10000), 0.1);
+}
+
+TEST(DeadTimeTest, HotBlocksHaveShortDeadTimes)
+{
+    // A block touched right before eviction has dead time ~0; the
+    // scan's last-touch = only-touch so dead times equal residency.
+    // Compare against a 2-block hot loop that always hits: virtually
+    // no evictions at all.
+    ScanArray a;
+    a.base = 0x100000;
+    a.blocks = 2;
+    StridedScanSource src({a}, 0);
+    DeadTimeAnalysis dt(tinyL1(), 10.0);
+    dt.run(src, 1000);
+    EXPECT_EQ(dt.histogram().samples(), 0u); // nothing evicted
+}
+
+TEST(DeadTimeTest, MostDeadTimesExceedMemoryLatency)
+{
+    // The paper's Fig. 2 argument at miniature scale: with realistic
+    // cycles-per-access, most dead times exceed the 200-cycle memory
+    // latency, so last-touch prefetches are timely.
+    ScanArray a;
+    a.base = 0x100000;
+    a.blocks = 256;
+    StridedScanSource src({a}, 0);
+    DeadTimeAnalysis dt(CacheConfig::l1d(), 5.0);
+    dt.run(src, 256 * 30);
+    EXPECT_GT(dt.fractionLongerThan(200), 0.85);
+}
+
+TEST(DeadTimeDeathTest, NonPositiveCyclesPerAccess)
+{
+    EXPECT_DEATH(DeadTimeAnalysis(tinyL1(), 0.0), "positive");
+}
+
+//
+// Energy model (Section 5.9)
+//
+
+TEST(EnergyTest, PaperArithmetic)
+{
+    EnergyModel m;
+    // Serial lookup + infrequent data read beats the parallel L1D.
+    EXPECT_LT(m.ltcDynamicPerAccessPj(0.2), m.l1dAccessPj);
+    // The paper's ~48% claim at a conservative 20% miss rate; our
+    // constants give ~43%, same ballpark.
+    EXPECT_NEAR(m.relativeDynamic(0.2), 0.43, 0.07);
+    // Monotone in miss rate.
+    EXPECT_LT(m.relativeDynamic(0.0), m.relativeDynamic(1.0));
+}
+
+TEST(EnergyTest, LeakageNumbersPreserved)
+{
+    EnergyModel m;
+    EXPECT_DOUBLE_EQ(m.l1dLeakMw, 230.0);
+    EXPECT_DOUBLE_EQ(m.ltcLeakMw, 800.0);
+    EXPECT_LT(m.sigReadPj, m.l1dDataReadPj);
+}
+
+} // namespace
+} // namespace ltc

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the two-level cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+namespace ltc
+{
+namespace
+{
+
+HierarchyConfig
+smallHier()
+{
+    HierarchyConfig h;
+    h.l1d.sizeBytes = 4 * 2 * 64; // 4 sets x 2 ways
+    h.l1d.assoc = 2;
+    h.l2.sizeBytes = 16 * 4 * 64; // 16 sets x 4 ways
+    h.l2.assoc = 4;
+    return h;
+}
+
+TEST(HierarchyTest, MissGoesToMemoryThenHits)
+{
+    CacheHierarchy hier(smallHier());
+    auto out = hier.access(0x1000, MemOp::Load);
+    EXPECT_EQ(out.level, HitLevel::Memory);
+    out = hier.access(0x1000, MemOp::Load);
+    EXPECT_EQ(out.level, HitLevel::L1);
+    EXPECT_EQ(hier.accesses(), 2u);
+    EXPECT_EQ(hier.l1Misses(), 1u);
+    EXPECT_EQ(hier.l2Misses(), 1u);
+}
+
+TEST(HierarchyTest, L2HitAfterL1Eviction)
+{
+    CacheHierarchy hier(smallHier());
+    // Fill L1 set 0 (blocks aliasing with 4-set L1 but distinct in
+    // 16-set L2).
+    hier.access(0x0000, MemOp::Load);
+    hier.access(0x0400, MemOp::Load);
+    hier.access(0x0800, MemOp::Load); // evicts 0x0000 from L1
+    auto out = hier.access(0x0000, MemOp::Load);
+    EXPECT_EQ(out.level, HitLevel::L2);
+}
+
+TEST(HierarchyTest, VictimReported)
+{
+    CacheHierarchy hier(smallHier());
+    hier.access(0x0000, MemOp::Load);
+    hier.access(0x0400, MemOp::Load);
+    auto out = hier.access(0x0800, MemOp::Load);
+    EXPECT_TRUE(out.l1Evicted);
+    EXPECT_EQ(out.l1VictimAddr, 0x0000u);
+    EXPECT_EQ(out.l1Set, 0u);
+}
+
+TEST(HierarchyTest, PerfectL1AlwaysHits)
+{
+    HierarchyConfig cfg = smallHier();
+    cfg.perfectL1 = true;
+    CacheHierarchy hier(cfg);
+    for (Addr a = 0; a < 100; a++) {
+        auto out = hier.access(a * 64, MemOp::Load);
+        EXPECT_EQ(out.level, HitLevel::L1);
+    }
+    EXPECT_EQ(hier.l1Misses(), 0u);
+}
+
+TEST(HierarchyTest, PrefetchInstallsIntoBothLevels)
+{
+    CacheHierarchy hier(smallHier());
+    auto pf = hier.prefetch(0x1000, invalidAddr);
+    EXPECT_FALSE(pf.alreadyInL1);
+    EXPECT_FALSE(pf.l2Hit);
+    EXPECT_TRUE(hier.l1d().probe(0x1000));
+    EXPECT_TRUE(hier.l2().probe(0x1000));
+    // Demand access is an L1 hit on the prefetched block.
+    auto out = hier.access(0x1000, MemOp::Load);
+    EXPECT_EQ(out.level, HitLevel::L1);
+    EXPECT_TRUE(out.l1HitOnPrefetch);
+}
+
+TEST(HierarchyTest, PrefetchL2CopyNotMarkedUntouched)
+{
+    // The L2 waypoint copy must not register as a useless prefetch
+    // when it later dies in L2 (the L1 copy tracks usefulness).
+    CacheHierarchy hier(smallHier());
+    hier.prefetch(0x1000, invalidAddr);
+    EXPECT_FALSE(hier.l2().isUntouchedPrefetch(0x1000));
+    EXPECT_TRUE(hier.l1d().isUntouchedPrefetch(0x1000));
+}
+
+TEST(HierarchyTest, PrefetchReplacesPredictedVictim)
+{
+    CacheHierarchy hier(smallHier());
+    hier.access(0x0000, MemOp::Load);
+    hier.access(0x0400, MemOp::Load); // 0x0000 is LRU
+    auto pf = hier.prefetch(0x0800, 0x0400);
+    EXPECT_TRUE(pf.l1Evicted);
+    EXPECT_EQ(pf.l1VictimAddr, 0x0400u);
+    EXPECT_TRUE(hier.l1d().probe(0x0000)); // LRU survived
+}
+
+TEST(HierarchyTest, PrefetchAlreadyResident)
+{
+    CacheHierarchy hier(smallHier());
+    hier.access(0x1000, MemOp::Load);
+    auto pf = hier.prefetch(0x1000, invalidAddr);
+    EXPECT_TRUE(pf.alreadyInL1);
+}
+
+TEST(HierarchyTest, PrefetchSeesL2Hit)
+{
+    CacheHierarchy hier(smallHier());
+    hier.access(0x0000, MemOp::Load);
+    hier.access(0x0400, MemOp::Load);
+    hier.access(0x0800, MemOp::Load); // 0x0000 now only in L2
+    auto pf = hier.prefetch(0x0000, invalidAddr);
+    EXPECT_FALSE(pf.alreadyInL1);
+    EXPECT_TRUE(pf.l2Hit);
+}
+
+TEST(HierarchyTest, FlushEmptiesBothLevels)
+{
+    CacheHierarchy hier(smallHier());
+    hier.access(0x1000, MemOp::Load);
+    hier.flush();
+    EXPECT_FALSE(hier.l1d().probe(0x1000));
+    EXPECT_FALSE(hier.l2().probe(0x1000));
+}
+
+TEST(HierarchyTest, HitLevelNames)
+{
+    EXPECT_STREQ(hitLevelName(HitLevel::L1), "L1");
+    EXPECT_STREQ(hitLevelName(HitLevel::L2), "L2");
+    EXPECT_STREQ(hitLevelName(HitLevel::Memory), "memory");
+}
+
+TEST(HierarchyDeathTest, MismatchedLineSizesFatal)
+{
+    HierarchyConfig cfg = smallHier();
+    cfg.l2.lineBytes = 128;
+    cfg.l2.sizeBytes = 16 * 4 * 128;
+    EXPECT_EXIT(CacheHierarchy{cfg}, ::testing::ExitedWithCode(1),
+                "line sizes");
+}
+
+TEST(HierarchyTest, PaperConfigDefaults)
+{
+    HierarchyConfig cfg;
+    EXPECT_EQ(cfg.l1d.sizeBytes, 64u * 1024u);
+    EXPECT_EQ(cfg.l1d.assoc, 2u);
+    EXPECT_EQ(cfg.l1d.latency, 2u);
+    EXPECT_EQ(cfg.l2.sizeBytes, 1024u * 1024u);
+    EXPECT_EQ(cfg.l2.assoc, 8u);
+    EXPECT_EQ(cfg.l2.latency, 20u);
+}
+
+} // namespace
+} // namespace ltc

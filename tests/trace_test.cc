@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the trace infrastructure: sources, adapters, file
+ * round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/file_trace.hh"
+#include "trace/trace.hh"
+
+namespace ltc
+{
+namespace
+{
+
+std::vector<MemRef>
+sampleRefs(std::size_t n)
+{
+    std::vector<MemRef> refs;
+    for (std::size_t i = 0; i < n; i++) {
+        MemRef r;
+        r.pc = 0x1000 + i * 4;
+        r.addr = 0x10000 + i * 64;
+        r.op = i % 3 == 0 ? MemOp::Store : MemOp::Load;
+        r.nonMemGap = static_cast<std::uint32_t>(i % 7);
+        r.dependsOnPrev = i % 2 == 0;
+        refs.push_back(r);
+    }
+    return refs;
+}
+
+TEST(VectorTraceTest, ReplaysInOrder)
+{
+    auto refs = sampleRefs(10);
+    VectorTrace t(refs);
+    MemRef out;
+    for (std::size_t i = 0; i < refs.size(); i++) {
+        ASSERT_TRUE(t.next(out));
+        EXPECT_TRUE(out == refs[i]);
+    }
+    EXPECT_FALSE(t.next(out));
+}
+
+TEST(VectorTraceTest, ResetRestarts)
+{
+    auto refs = sampleRefs(3);
+    VectorTrace t(refs);
+    MemRef out;
+    while (t.next(out)) {
+    }
+    t.reset();
+    ASSERT_TRUE(t.next(out));
+    EXPECT_TRUE(out == refs[0]);
+}
+
+TEST(LimitSourceTest, BoundsOutput)
+{
+    auto inner = std::make_unique<VectorTrace>(sampleRefs(100));
+    LimitSource limited(std::move(inner), 7);
+    MemRef out;
+    int n = 0;
+    while (limited.next(out))
+        n++;
+    EXPECT_EQ(n, 7);
+}
+
+TEST(LimitSourceTest, ResetRestoresBudget)
+{
+    auto inner = std::make_unique<VectorTrace>(sampleRefs(100));
+    LimitSource limited(std::move(inner), 5);
+    MemRef out;
+    while (limited.next(out)) {
+    }
+    limited.reset();
+    int n = 0;
+    while (limited.next(out))
+        n++;
+    EXPECT_EQ(n, 5);
+}
+
+TEST(ShiftSourceTest, AddsOffset)
+{
+    auto refs = sampleRefs(4);
+    auto inner = std::make_unique<VectorTrace>(refs);
+    ShiftSource shifted(std::move(inner), 0x100000);
+    MemRef out;
+    ASSERT_TRUE(shifted.next(out));
+    EXPECT_EQ(out.addr, refs[0].addr + 0x100000);
+    EXPECT_EQ(out.pc, refs[0].pc); // PCs unchanged
+}
+
+TEST(CaptureSourceTest, CapturesStream)
+{
+    auto refs = sampleRefs(6);
+    CaptureSource cap(std::make_unique<VectorTrace>(refs));
+    MemRef out;
+    while (cap.next(out)) {
+    }
+    EXPECT_EQ(cap.captured().size(), 6u);
+    EXPECT_TRUE(cap.captured()[2] == refs[2]);
+}
+
+TEST(CaptureSourceTest, ResetClearsCapture)
+{
+    CaptureSource cap(std::make_unique<VectorTrace>(sampleRefs(3)));
+    MemRef out;
+    cap.next(out);
+    cap.reset();
+    EXPECT_TRUE(cap.captured().empty());
+}
+
+TEST(CollectTest, GathersUpToLimit)
+{
+    VectorTrace t(sampleRefs(10));
+    auto collected = collect(t, 4);
+    EXPECT_EQ(collected.size(), 4u);
+    t.reset();
+    collected = collect(t, 100);
+    EXPECT_EQ(collected.size(), 10u);
+}
+
+TEST(FileTraceTest, RoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/ltc_trace_rt.bin";
+    auto refs = sampleRefs(50);
+    writeTraceFile(path, refs);
+    auto back = readTraceFile(path);
+    ASSERT_EQ(back.size(), refs.size());
+    for (std::size_t i = 0; i < refs.size(); i++)
+        EXPECT_TRUE(back[i] == refs[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(FileTraceTest, SourceReplaysFile)
+{
+    const std::string path = ::testing::TempDir() + "/ltc_trace_src.bin";
+    auto refs = sampleRefs(8);
+    writeTraceFile(path, refs);
+    FileTrace t(path);
+    EXPECT_EQ(t.size(), 8u);
+    MemRef out;
+    int n = 0;
+    while (t.next(out))
+        n++;
+    EXPECT_EQ(n, 8);
+    t.reset();
+    ASSERT_TRUE(t.next(out));
+    EXPECT_TRUE(out == refs[0]);
+    std::remove(path.c_str());
+}
+
+TEST(FileTraceDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readTraceFile("/nonexistent/ltc.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(FileTraceDeathTest, BadMagicIsFatal)
+{
+    const std::string path = ::testing::TempDir() + "/ltc_bad_magic.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("NOTATRACE1234567", 1, 16, f);
+    std::fclose(f);
+    EXPECT_EXIT(readTraceFile(path), ::testing::ExitedWithCode(1),
+                "bad trace magic");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ltc
