@@ -7,7 +7,7 @@
  * table cannot match last-touch streaming.
  */
 
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/timing_engine.hh"
 

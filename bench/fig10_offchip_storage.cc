@@ -9,7 +9,7 @@
  * the per-benchmark ordering is the reproduced result.
  */
 
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "core/ltcords.hh"
 #include "sim/experiment.hh"
 #include "sim/trace_engine.hh"

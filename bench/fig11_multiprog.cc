@@ -11,7 +11,7 @@
  * mode).
  */
 
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "core/ltcords.hh"
 #include "sim/experiment.hh"
 #include "sim/multiprog.hh"

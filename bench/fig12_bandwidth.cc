@@ -11,7 +11,7 @@
  * where the bus was idle anyway.
  */
 
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/timing_engine.hh"
 

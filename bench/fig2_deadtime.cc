@@ -10,7 +10,7 @@
  */
 
 #include "analysis/deadtime.hh"
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/timing_engine.hh"
 

@@ -10,7 +10,7 @@
  * benchmark's signature footprint — is the reproduced result.
  */
 
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "pred/dbcp.hh"
 #include "sim/experiment.hh"
 #include "sim/trace_engine.hh"

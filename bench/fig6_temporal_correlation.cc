@@ -9,7 +9,7 @@
  */
 
 #include "analysis/correlation.hh"
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 
 using namespace ltc;

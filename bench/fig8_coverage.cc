@@ -8,7 +8,7 @@
  * reported above 100%).
  */
 
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/trace_engine.hh"
 

@@ -8,7 +8,7 @@
  * sequences with +-1K reordering slack).
  */
 
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "core/ltcords.hh"
 #include "sim/experiment.hh"
 #include "sim/trace_engine.hh"

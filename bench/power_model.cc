@@ -6,7 +6,7 @@
  */
 
 #include "analysis/energy.hh"
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/trace_engine.hh"
 

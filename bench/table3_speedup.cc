@@ -12,7 +12,7 @@
  * (gzip, bzip2, twolf).
  */
 
-#include "bench/bench_common.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/timing_engine.hh"
 

@@ -193,8 +193,9 @@ TEST_P(SigCacheSweep, CoverageReasonable)
     LtCords ltc(cfg);
     auto stats = runWithOpportunity(HierarchyConfig{}, &ltc, *src,
                                     5 * bigScanIter);
-    if (GetParam() >= 8192)
+    if (GetParam() >= 8192) {
         EXPECT_GT(stats.coverage(), 0.5) << GetParam();
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SigCacheSweep,

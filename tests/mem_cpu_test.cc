@@ -312,8 +312,9 @@ TEST(OooCoreDeathTest, CompleteBeforeIssuePanics)
     OooCore core(CoreConfig{});
     core.issueNonMem(100);
     const Cycle issue = core.beginMem();
-    if (issue > 0)
+    if (issue > 0) {
         EXPECT_DEATH(core.completeMem(0), "completes before");
+    }
 }
 
 TEST(OooCoreDeathTest, DoubleBeginPanics)
