@@ -6,7 +6,11 @@
  *  - head-signature lookahead (Section 4.2: "several hundred"),
  *  - sliding-window depth (Section 5.2: must cover ~1K reordering),
  *  - confidence initialisation (Section 4.4: init to 2 to expedite
- *    training).
+ *    training),
+ *  - signature cache associativity.
+ *
+ * All five sweeps are flattened into one cell list so the runner can
+ * shard every (parameter value x workload) pair at once.
  */
 
 #include "bench_common.hh"
@@ -19,77 +23,112 @@ using namespace ltc;
 namespace
 {
 
-double
-coverageWith(const std::string &workload, const LtcordsConfig &cfg)
+struct Sweep
 {
-    LtCords ltc(cfg);
-    auto src = makeWorkload(workload);
-    auto s = runWithOpportunity(paperHierarchy(), &ltc, *src,
-                                benchRefs(workload, 2'000'000));
-    return s.coverage();
+    const char *title;
+    const char *column;
+    std::vector<std::uint32_t> values;
+    void (*apply)(LtcordsConfig &, std::uint32_t);
+};
+
+const std::vector<Sweep> &
+sweeps()
+{
+    static const std::vector<Sweep> all = {
+        {"Ablation: fragment size (signatures per frame)", "fragment",
+         {256, 512, 1024, 2048, 4096},
+         [](LtcordsConfig &c, std::uint32_t v) {
+             c.fragmentSignatures = v;
+         }},
+        {"Ablation: head-signature lookahead (signatures)",
+         "lookahead", {0, 64, 256, 512, 1024},
+         [](LtcordsConfig &c, std::uint32_t v) {
+             c.headLookahead = v;
+         }},
+        {"Ablation: sliding-window depth (signatures)", "window",
+         {64, 256, 1024, 4096},
+         [](LtcordsConfig &c, std::uint32_t v) { c.windowAhead = v; }},
+        {"Ablation: confidence counter initialisation", "conf init",
+         {0, 1, 2, 3},
+         [](LtcordsConfig &c, std::uint32_t v) {
+             c.confidenceInit = static_cast<std::uint8_t>(v);
+         }},
+        {"Ablation: signature cache associativity", "assoc",
+         {1, 2, 4, 8},
+         [](LtcordsConfig &c, std::uint32_t v) {
+             c.sigCacheAssoc = v;
+         }},
+    };
+    return all;
 }
 
-const std::vector<std::string> &
-ablationWorkloads()
+/** (sweep, value) addressed by cell index, aligned with the cells. */
+struct CellSpec
 {
-    static const std::vector<std::string> names =
-        benchWorkloads({"swim", "mcf", "em3d", "facerec"});
-    return names;
-}
-
-template <typename Setter>
-void
-sweep(const char *title, const char *column,
-      const std::vector<std::uint32_t> &values, Setter setter)
-{
-    Table table(title);
-    std::vector<std::string> header = {column};
-    for (const auto &name : ablationWorkloads())
-        header.push_back(name);
-    table.setHeader(header);
-    for (const std::uint32_t v : values) {
-        std::vector<std::string> row = {std::to_string(v)};
-        for (const auto &name : ablationWorkloads()) {
-            LtcordsConfig cfg = paperLtcords(paperHierarchy());
-            setter(cfg, v);
-            row.push_back(Table::pct(coverageWith(name, cfg), 0));
-        }
-        table.addRow(row);
-    }
-    emitTable(table);
-}
+    std::size_t sweep;
+    std::uint32_t value;
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    sweep("Ablation: fragment size (signatures per frame)",
-          "fragment", {256, 512, 1024, 2048, 4096},
-          [](LtcordsConfig &c, std::uint32_t v) {
-              c.fragmentSignatures = v;
-          });
+    ResultSink sink("ablation_design", argc, argv);
+    ExperimentRunner runner;
 
-    sweep("Ablation: head-signature lookahead (signatures)",
-          "lookahead", {0, 64, 256, 512, 1024},
-          [](LtcordsConfig &c, std::uint32_t v) {
-              c.headLookahead = v;
-          });
+    const auto workloads =
+        benchWorkloads({"swim", "mcf", "em3d", "facerec"});
 
-    sweep("Ablation: sliding-window depth (signatures)", "window",
-          {64, 256, 1024, 4096},
-          [](LtcordsConfig &c, std::uint32_t v) { c.windowAhead = v; });
+    std::vector<RunCell> cells;
+    std::vector<CellSpec> specs;
+    for (std::size_t s = 0; s < sweeps().size(); s++) {
+        for (const std::uint32_t v : sweeps()[s].values) {
+            for (const auto &name : workloads) {
+                RunCell cell;
+                cell.workload = name;
+                cell.config = std::string(sweeps()[s].column) + "=" +
+                    std::to_string(v);
+                cells.push_back(std::move(cell));
+                specs.push_back({s, v});
+            }
+        }
+    }
+    ExperimentRunner::assignSeeds(cells);
 
-    sweep("Ablation: confidence counter initialisation", "conf init",
-          {0, 1, 2, 3},
-          [](LtcordsConfig &c, std::uint32_t v) {
-              c.confidenceInit = static_cast<std::uint8_t>(v);
-          });
+    auto results = runner.run(cells, [&](const RunCell &cell,
+                                         RunResult &r) {
+        const CellSpec &spec = specs[cell.index];
+        LtcordsConfig cfg = paperLtcords(paperHierarchy());
+        sweeps()[spec.sweep].apply(cfg, spec.value);
+        LtCords ltc(cfg);
+        auto src = makeWorkload(cell.workload);
+        auto s = runWithOpportunity(paperHierarchy(), &ltc, *src,
+                                    benchRefs(cell.workload,
+                                              2'000'000));
+        r.set("coverage", s.coverage());
+    });
 
-    sweep("Ablation: signature cache associativity", "assoc",
-          {1, 2, 4, 8},
-          [](LtcordsConfig &c, std::uint32_t v) {
-              c.sigCacheAssoc = v;
-          });
-    return 0;
+    // One table per sweep, rows = values, columns = workloads;
+    // results are laid out (sweep, value, workload)-major.
+    std::size_t at = 0;
+    for (const Sweep &sweep : sweeps()) {
+        Table table(sweep.title);
+        std::vector<std::string> header = {sweep.column};
+        for (const auto &name : workloads)
+            header.push_back(name);
+        table.setHeader(header);
+        for (const std::uint32_t v : sweep.values) {
+            std::vector<std::string> row = {std::to_string(v)};
+            for (std::size_t w = 0; w < workloads.size(); w++)
+                row.push_back(
+                    Table::pct(results[at + w].get("coverage"), 0));
+            at += workloads.size();
+            table.addRow(row);
+        }
+        sink.table(table);
+    }
+
+    sink.add(std::move(results));
+    return sink.finish();
 }

@@ -3,13 +3,23 @@
  * Shared helpers for the benchmark harness.
  *
  * Every bench binary regenerates one of the paper's tables or
- * figures. Common knobs (environment variables):
+ * figures by sweeping (workload x config) cells through the
+ * experiment runner (sim/runner.hh). Common knobs (environment
+ * variables):
  *
  *   LTC_WORKLOADS  comma-separated names, "all", or "quick"
  *                  (sensitivity sweeps default to a representative
  *                  subset to keep runtimes in seconds; set "all" to
  *                  reproduce with the full suite)
  *   LTC_REFS       reference budget override (suffixes k/m/g)
+ *   LTC_JOBS       worker threads for the sweep (default: all
+ *                  hardware threads); results are bit-identical for
+ *                  any value
+ *   LTC_JSON       path for the machine-readable JSON export
+ *                  ("-" = stdout); also `--json <path>` on the
+ *                  command line
+ *   LTC_CSV        path for the per-cell CSV export ("-" = stdout);
+ *                  also `--csv <path>`
  */
 
 #ifndef LTC_BENCH_BENCH_COMMON_HH
@@ -20,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/runner.hh"
 #include "trace/workloads.hh"
 #include "util/table.hh"
 
@@ -49,14 +60,23 @@ benchWorkloads(const std::vector<std::string> &fallback)
     return fallback;
 }
 
-/** Emit a table in both human and CSV form. */
+/**
+ * For a workloads-major sweep with @p stride configs per workload
+ * whose *first* config is the normalization baseline, set a
+ * "gain_pct" metric (100 * (ipc / base_ipc - 1)) on every non-base
+ * cell.
+ */
 inline void
-emitTable(const Table &table)
+setGainsVsBase(std::vector<RunResult> &results, std::size_t stride)
 {
-    std::fputs(table.render().c_str(), stdout);
-    std::fputs("\n[csv]\n", stdout);
-    std::fputs(table.csv().c_str(), stdout);
-    std::fputs("\n", stdout);
+    for (std::size_t i = 0; i < results.size(); i++) {
+        if (i % stride == 0)
+            continue; // the baseline cell itself
+        const double base = results[(i / stride) * stride].get("ipc");
+        results[i].set("gain_pct", base > 0
+            ? (results[i].get("ipc") / base - 1.0) * 100.0
+            : 0.0);
+    }
 }
 
 } // namespace ltc

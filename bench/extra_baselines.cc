@@ -30,26 +30,42 @@ runIpc(const std::string &workload, const std::string &predictor)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ResultSink sink("extra_baselines", argc, argv);
+    ExperimentRunner runner;
+
+    const std::vector<std::string> predictors = {
+        "none", "stride", "markov", "ghb", "lt-cords"};
+    const auto workloads = benchWorkloads(
+        {"swim", "gap", "mcf", "em3d", "treeadd", "wupwise",
+         "facerec", "gzip"});
+    const auto cells =
+        ExperimentRunner::cross(workloads, predictors);
+
+    auto results = runner.run(cells, [](const RunCell &cell,
+                                        RunResult &r) {
+        r.set("ipc", runIpc(cell.workload, cell.config));
+    });
+
+    // Gains vs each workload's "none" cell (first config).
+    const std::size_t stride = predictors.size();
+    setGainsVsBase(results, stride);
+
     Table table("Extra baselines: % speedup over baseline"
                 " (stride RPT and Markov [11] vs the paper's set)");
     table.setHeader({"benchmark", "stride", "markov", "ghb",
                      "lt-cords"});
 
     std::vector<double> means[4];
-    const char *preds[] = {"stride", "markov", "ghb", "lt-cords"};
-
-    for (const auto &name : benchWorkloads(
-             {"swim", "gap", "mcf", "em3d", "treeadd", "wupwise",
-              "facerec", "gzip"})) {
-        const double base = runIpc(name, "none");
-        std::vector<std::string> row = {name};
-        for (int p = 0; p < 4; p++) {
+    for (std::size_t w = 0; w < workloads.size(); w++) {
+        std::vector<std::string> row = {workloads[w]};
+        for (std::size_t p = 1; p < stride; p++) {
             const double gain =
-                base > 0 ? runIpc(name, preds[p]) / base - 1.0 : 0.0;
-            row.push_back(Table::num(gain * 100.0, 0));
-            means[p].push_back(gain);
+                ExperimentRunner::at(results, w, p, stride)
+                    .get("gain_pct");
+            row.push_back(Table::num(gain, 0));
+            means[p - 1].push_back(gain / 100.0);
         }
         table.addRow(row);
     }
@@ -57,11 +73,12 @@ main()
     for (auto &m : means)
         row.push_back(Table::num(amean(m) * 100.0, 0));
     table.addRow(row);
-    emitTable(table);
+    sink.table(table);
 
-    std::printf("stride is subsumed by GHB PC/DC (delta correlation);"
-                " Markov's single-miss lookahead and finite table"
-                " leave dependent chains exposed -- the gap LT-cords'"
-                " last-touch streaming closes.\n");
-    return 0;
+    sink.add(std::move(results));
+    sink.note("stride is subsumed by GHB PC/DC (delta correlation);"
+              " Markov's single-miss lookahead and finite table"
+              " leave dependent chains exposed -- the gap LT-cords'"
+              " last-touch streaming closes.");
+    return sink.finish();
 }

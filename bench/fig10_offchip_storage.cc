@@ -9,6 +9,8 @@
  * the per-benchmark ordering is the reproduced result.
  */
 
+#include <algorithm>
+
 #include "bench_common.hh"
 #include "core/ltcords.hh"
 #include "sim/experiment.hh"
@@ -17,8 +19,11 @@
 using namespace ltc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ResultSink sink("fig10_offchip_storage", argc, argv);
+    ExperimentRunner runner;
+
     // The paper's Figure 10 benchmark list (largest demands first).
     const auto workloads = benchWorkloads(
         {"lucas", "mgrid", "applu", "wupwise", "swim", "fma3d", "ammp",
@@ -27,34 +32,53 @@ main()
     const std::vector<std::uint32_t> sig_capacities = {
         32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20};
 
-    Table table("Figure 10: coverage vs off-chip sequence storage"
-                " (signatures); 100% = largest capacity");
-    std::vector<std::string> header = {"benchmark"};
+    std::vector<std::string> capacity_labels;
     for (auto c : sig_capacities)
-        header.push_back(std::to_string(c >> 10) + "K sigs");
-    table.setHeader(header);
+        capacity_labels.push_back(std::to_string(c >> 10) + "K sigs");
 
-    for (const auto &name : workloads) {
-        std::vector<double> cov;
-        for (const std::uint32_t sigs : sig_capacities) {
+    auto results = runner.run(
+        ExperimentRunner::cross(workloads, capacity_labels),
+        [&](const RunCell &cell, RunResult &r) {
+            const std::uint32_t sigs =
+                sig_capacities[ExperimentRunner::configIndex(
+                    cell, sig_capacities.size())];
             LtcordsConfig cfg = paperLtcords(paperHierarchy());
             // Capacity = frames x fragment; scale the frame count.
             cfg.fragmentSignatures = 1024;
             cfg.numFrames = std::max<std::uint32_t>(
                 16, sigs / cfg.fragmentSignatures);
             LtCords ltc(cfg);
-            auto src = makeWorkload(name);
+            auto src = makeWorkload(cell.workload);
             auto s = runWithOpportunity(paperHierarchy(), &ltc, *src,
-                                        benchRefs(name, 2'500'000));
-            cov.push_back(s.coverage());
+                                        benchRefs(cell.workload,
+                                                  2'500'000));
+            r.set("coverage", s.coverage());
+        });
+
+    Table table("Figure 10: coverage vs off-chip sequence storage"
+                " (signatures); 100% = largest capacity");
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto &label : capacity_labels)
+        header.push_back(label);
+    table.setHeader(header);
+
+    const std::size_t stride = sig_capacities.size();
+    for (std::size_t w = 0; w < workloads.size(); w++) {
+        double best = 1e-9;
+        for (std::size_t s = 0; s < stride; s++)
+            best = std::max(best,
+                            ExperimentRunner::at(results, w, s, stride)
+                                .get("coverage"));
+        std::vector<std::string> row = {workloads[w]};
+        for (std::size_t s = 0; s < stride; s++) {
+            RunResult &r = ExperimentRunner::at(results, w, s, stride);
+            const double norm = r.get("coverage") / best;
+            r.set("normalized", norm);
+            row.push_back(Table::pct(norm, 0));
         }
-        const double best = std::max(
-            1e-9, *std::max_element(cov.begin(), cov.end()));
-        std::vector<std::string> row = {name};
-        for (double c : cov)
-            row.push_back(Table::pct(c / best, 0));
         table.addRow(row);
     }
-    emitTable(table);
-    return 0;
+    sink.table(table);
+    sink.add(std::move(results));
+    return sink.finish();
 }

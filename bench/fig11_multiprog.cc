@@ -58,9 +58,13 @@ paired(const std::string &primary, const std::string &partner)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    // The paper's pairings (Figure 11).
+    ResultSink sink("fig11_multiprog", argc, argv);
+    ExperimentRunner runner;
+
+    // The paper's pairings (Figure 11). Not a plain cross product,
+    // so build the cell list by hand: config "" = standalone.
     const std::vector<std::pair<std::string, std::vector<std::string>>>
         pairings = {
             {"gcc", {"mcf", "gzip", "swim"}},
@@ -70,18 +74,37 @@ main()
             {"lucas", {"applu", "mgrid"}},
         };
 
+    std::vector<RunCell> cells;
+    for (const auto &[primary, partners] : pairings) {
+        RunCell alone;
+        alone.workload = primary;
+        cells.push_back(alone);
+        for (const auto &partner : partners) {
+            RunCell cell;
+            cell.workload = primary;
+            cell.config = partner;
+            cells.push_back(cell);
+        }
+    }
+    ExperimentRunner::assignSeeds(cells);
+
+    auto results = runner.run(cells, [](const RunCell &cell,
+                                        RunResult &r) {
+        r.set("coverage", cell.config.empty()
+            ? standalone(cell.workload)
+            : paired(cell.workload, cell.config));
+    });
+
     Table table("Figure 11: LT-cords coverage, standalone vs"
                 " multi-programmed");
     table.setHeader({"benchmark", "partner", "coverage"});
-
-    for (const auto &[primary, partners] : pairings) {
-        table.addRow({primary, "(standalone)",
-                      Table::pct(standalone(primary))});
-        for (const auto &partner : partners) {
-            table.addRow({primary, "w/ " + partner,
-                          Table::pct(paired(primary, partner))});
-        }
+    for (const auto &r : results) {
+        table.addRow({r.cell.workload,
+                      r.cell.config.empty() ? "(standalone)"
+                                            : "w/ " + r.cell.config,
+                      Table::pct(r.get("coverage"))});
     }
-    emitTable(table);
-    return 0;
+    sink.table(table);
+    sink.add(std::move(results));
+    return sink.finish();
 }

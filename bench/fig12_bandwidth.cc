@@ -18,22 +18,20 @@
 using namespace ltc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Table table("Figure 12: memory bus utilization"
-                " (bytes/instruction) with LT-cords");
-    table.setHeader({"benchmark", "base data", "incorrect",
-                     "seq create", "seq fetch", "overhead %"});
+    ResultSink sink("fig12_bandwidth", argc, argv);
+    ExperimentRunner runner;
 
-    double worst_overhead = 0.0;
-    std::vector<double> overheads;
-
-    for (const auto &name : benchWorkloads({"all"})) {
+    const auto cells =
+        ExperimentRunner::cells(benchWorkloads({"all"}));
+    auto results = runner.run(cells, [](const RunCell &cell,
+                                        RunResult &r) {
         TimingConfig tc = paperTiming();
         auto pred = makePredictor("lt-cords", tc.hier, true);
         TimingSim sim(tc, pred.get());
-        auto src = makeWorkload(name);
-        sim.run(*src, benchRefs(name, 3'000'000));
+        auto src = makeWorkload(cell.workload);
+        sim.run(*src, benchRefs(cell.workload, 3'000'000));
         const TimingStats s = sim.stats();
 
         const double base = s.bytesPerInstruction(Traffic::BaseData);
@@ -43,25 +41,43 @@ main()
             s.bytesPerInstruction(Traffic::SequenceCreate);
         const double fetch =
             s.bytesPerInstruction(Traffic::SequenceFetch);
-        const double overhead = base > 1e-9
+        r.set("base_bpi", base);
+        r.set("incorrect_bpi", incorrect);
+        r.set("create_bpi", create);
+        r.set("fetch_bpi", fetch);
+        r.set("overhead", base > 1e-9
             ? (incorrect + create + fetch) / base
-            : 0.0;
-        if (base > 1.0) { // pin-bandwidth-hungry applications
-            overheads.push_back(overhead);
-            worst_overhead = std::max(worst_overhead, overhead);
+            : 0.0);
+    });
+
+    Table table("Figure 12: memory bus utilization"
+                " (bytes/instruction) with LT-cords");
+    table.setHeader({"benchmark", "base data", "incorrect",
+                     "seq create", "seq fetch", "overhead %"});
+
+    double worst_overhead = 0.0;
+    std::vector<double> overheads;
+    for (const auto &r : results) {
+        if (r.get("base_bpi") > 1.0) {
+            // pin-bandwidth-hungry applications
+            overheads.push_back(r.get("overhead"));
+            worst_overhead =
+                std::max(worst_overhead, r.get("overhead"));
         }
-
-        table.addRow({name, Table::num(base, 2),
-                      Table::num(incorrect, 2), Table::num(create, 2),
-                      Table::num(fetch, 2),
-                      Table::pct(overhead, 1)});
+        table.addRow({r.cell.workload,
+                      Table::num(r.get("base_bpi"), 2),
+                      Table::num(r.get("incorrect_bpi"), 2),
+                      Table::num(r.get("create_bpi"), 2),
+                      Table::num(r.get("fetch_bpi"), 2),
+                      Table::pct(r.get("overhead"), 1)});
     }
-    emitTable(table);
+    sink.table(table);
 
-    std::printf("overhead for applications above 1 B/inst: avg %s, "
-                "worst %s (paper: <4%% avg, <=15%% worst for "
-                "bandwidth-hungry applications)\n",
-                Table::pct(amean(overheads)).c_str(),
-                Table::pct(worst_overhead).c_str());
-    return 0;
+    sink.add(std::move(results));
+    sink.note("overhead for applications above 1 B/inst: avg " +
+              Table::pct(amean(overheads)) + ", worst " +
+              Table::pct(worst_overhead) +
+              " (paper: <4% avg, <=15% worst for bandwidth-hungry "
+              "applications)");
+    return sink.finish();
 }

@@ -16,49 +16,85 @@
 
 using namespace ltc;
 
-int
-main()
+namespace
 {
+
+/** Per-workload product: scalar record plus the full histogram. */
+struct DeadTimeCell
+{
+    RunResult result;
+    Log2Histogram hist{40};
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ResultSink sink("fig2_deadtime", argc, argv);
+    ExperimentRunner runner;
+
     const auto workloads = benchWorkloads({"all"});
+    auto cells = ExperimentRunner::cells(workloads);
+
+    auto per_cell = runner.map<DeadTimeCell>(
+        cells.size(), [&](std::size_t i) {
+            const RunCell &cell = cells[i];
+            DeadTimeCell out;
+            out.result.cell = cell;
+
+            // Estimate baseline cycles/access from a short timing
+            // run.
+            TimingConfig cfg = paperTiming();
+            TimingSim sim(cfg, nullptr);
+            auto src = makeWorkload(cell.workload);
+            const std::uint64_t probe_refs = 200'000;
+            sim.run(*src, probe_refs);
+            const double cyc_per_access =
+                static_cast<double>(sim.stats().cycles) /
+                static_cast<double>(probe_refs);
+
+            DeadTimeAnalysis dt(CacheConfig::l1d(), cyc_per_access);
+            src = makeWorkload(cell.workload);
+            dt.run(*src, benchRefs(cell.workload, 2'000'000));
+
+            out.hist = dt.histogram();
+            out.result.set("cycles_per_access", cyc_per_access);
+            out.result.set("median_cycles",
+                static_cast<double>(out.hist.percentile(0.5)));
+            out.result.set("p90_cycles",
+                static_cast<double>(out.hist.percentile(0.9)));
+            out.result.set("frac_gt_mem_latency",
+                           dt.fractionLongerThan(200));
+            return out;
+        });
 
     Log2Histogram combined(40);
     Table per("Figure 2 (per benchmark): dead-time distribution");
     per.setHeader({"benchmark", "median (cyc)", "p90 (cyc)",
                    "> mem latency (200cyc)"});
-
-    for (const auto &name : workloads) {
-        // Estimate baseline cycles/access from a short timing run.
-        TimingConfig cfg = paperTiming();
-        TimingSim sim(cfg, nullptr);
-        auto src = makeWorkload(name);
-        const std::uint64_t probe_refs = 200'000;
-        sim.run(*src, probe_refs);
-        const double cyc_per_access =
-            static_cast<double>(sim.stats().cycles) /
-            static_cast<double>(probe_refs);
-
-        DeadTimeAnalysis dt(CacheConfig::l1d(), cyc_per_access);
-        src = makeWorkload(name);
-        dt.run(*src, benchRefs(name, 2'000'000));
-
-        const auto &h = dt.histogram();
-        per.addRow({name, std::to_string(h.percentile(0.5)),
-                    std::to_string(h.percentile(0.9)),
-                    Table::pct(dt.fractionLongerThan(200))});
-        for (unsigned b = 0; b < h.numBuckets(); b++)
-            combined.sample(b == 0 ? 0 : (1ull << b) - 1, h.bucket(b));
+    std::vector<RunResult> records;
+    for (auto &c : per_cell) {
+        per.addRow({c.result.cell.workload,
+                    std::to_string(c.hist.percentile(0.5)),
+                    std::to_string(c.hist.percentile(0.9)),
+                    Table::pct(c.result.get("frac_gt_mem_latency"))});
+        combined.merge(c.hist);
+        records.push_back(std::move(c.result));
     }
-    emitTable(per);
+    sink.table(per);
 
     Table cdf("Figure 2: CDF of cache-block dead-times (cycles),"
               " averaged over all benchmarks");
     cdf.setHeader({"dead-time <= (cycles)", "CDF of cache blocks"});
     for (const auto &[upper, frac] : combined.cdfSeries())
         cdf.addRow({std::to_string(upper), Table::pct(frac)});
-    emitTable(cdf);
+    sink.table(cdf);
 
-    std::printf("fraction of dead-times longer than the 200-cycle "
-                "memory latency: %s (paper: >85%%)\n",
-                Table::pct(1.0 - combined.cdfAt(200)).c_str());
-    return 0;
+    sink.add(std::move(records));
+    sink.note("fraction of dead-times longer than the 200-cycle "
+              "memory latency: " +
+              Table::pct(1.0 - combined.cdfAt(200)) +
+              " (paper: >85%)");
+    return sink.finish();
 }

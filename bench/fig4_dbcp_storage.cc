@@ -18,8 +18,11 @@
 using namespace ltc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ResultSink sink("fig4_dbcp_storage", argc, argv);
+    ExperimentRunner runner;
+
     // Default subset includes the worst case (wupwise) and a spread
     // of footprint classes; LTC_WORKLOADS=all for the full suite.
     const auto workloads = benchWorkloads(
@@ -29,14 +32,39 @@ main()
     const std::vector<std::uint64_t> sizesKb = {
         16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
 
-    // Oracle coverage per workload.
-    std::vector<double> oracle;
-    for (const auto &name : workloads) {
-        Dbcp dbcp(DbcpConfig{});
-        auto src = makeWorkload(name);
-        auto stats = runWithOpportunity(paperHierarchy(), &dbcp, *src,
-                                        benchRefs(name));
-        oracle.push_back(std::max(stats.coverage(), 1e-9));
+    // One sweep: config 0 is the unlimited-table oracle, the rest
+    // are the finite sizes. Folding both passes into one cell list
+    // keeps every exported record's cell index unique.
+    std::vector<std::string> configs = {"unlimited"};
+    for (const std::uint64_t kb : sizesKb)
+        configs.push_back(std::to_string(kb) + "KB");
+    const std::size_t stride = configs.size();
+
+    auto results = runner.run(
+        ExperimentRunner::cross(workloads, configs),
+        [&](const RunCell &cell, RunResult &r) {
+            const std::size_t c =
+                ExperimentRunner::configIndex(cell, stride);
+            DbcpConfig cfg; // default: unlimited table
+            if (c > 0)
+                cfg.tableEntries = DbcpConfig::entriesForBytes(
+                    sizesKb[c - 1] * 1024);
+            Dbcp dbcp(cfg);
+            auto src = makeWorkload(cell.workload);
+            auto stats = runWithOpportunity(paperHierarchy(), &dbcp,
+                                            *src,
+                                            benchRefs(cell.workload));
+            r.set("coverage", stats.coverage());
+        });
+
+    for (auto &r : results) {
+        const std::size_t w =
+            ExperimentRunner::workloadIndex(r.cell, stride);
+        const double oracle = std::max(
+            ExperimentRunner::at(results, w, 0, stride)
+                .get("coverage"),
+            1e-9);
+        r.set("normalized", r.get("coverage") / oracle);
     }
 
     Table table("Figure 4: DBCP coverage vs on-chip table size,"
@@ -44,29 +72,24 @@ main()
     table.setHeader({"table size", "avg % of achievable",
                      "worst-case % (workload)"});
 
-    for (const std::uint64_t kb : sizesKb) {
+    for (std::size_t s = 1; s < stride; s++) {
         std::vector<double> normalized;
         double worst = 2.0;
         std::string worst_name;
-        for (std::size_t i = 0; i < workloads.size(); i++) {
-            DbcpConfig cfg;
-            cfg.tableEntries = DbcpConfig::entriesForBytes(kb * 1024);
-            Dbcp dbcp(cfg);
-            auto src = makeWorkload(workloads[i]);
-            auto stats = runWithOpportunity(paperHierarchy(), &dbcp,
-                                            *src,
-                                            benchRefs(workloads[i]));
-            const double norm = stats.coverage() / oracle[i];
+        for (std::size_t w = 0; w < workloads.size(); w++) {
+            const double norm =
+                ExperimentRunner::at(results, w, s, stride)
+                    .get("normalized");
             normalized.push_back(norm);
             if (norm < worst) {
                 worst = norm;
-                worst_name = workloads[i];
+                worst_name = workloads[w];
             }
         }
-        table.addRow({std::to_string(kb) + "KB",
-                      Table::pct(amean(normalized)),
+        table.addRow({configs[s], Table::pct(amean(normalized)),
                       Table::pct(worst) + " (" + worst_name + ")"});
     }
-    emitTable(table);
-    return 0;
+    sink.table(table);
+    sink.add(std::move(results));
+    return sink.finish();
 }

@@ -14,57 +14,97 @@
 
 using namespace ltc;
 
-int
-main()
+namespace
 {
+
+/** Per-workload product: scalar record plus result histograms. */
+struct CorrelationCell
+{
+    RunResult result;
+    Log2Histogram distance{40};
+    Log2Histogram sequenceLength{40};
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ResultSink sink("fig6_temporal_correlation", argc, argv);
+    ExperimentRunner runner;
+
     const auto workloads = benchWorkloads({"all"});
+    auto cells = ExperimentRunner::cells(workloads);
+
+    auto per_cell = runner.map<CorrelationCell>(
+        cells.size(), [&](std::size_t i) {
+            const RunCell &cell = cells[i];
+            CorrelationCell out;
+            out.result.cell = cell;
+
+            CorrelationAnalysis ca(CacheConfig::l1d(), 16);
+            auto src = makeWorkload(cell.workload);
+            ca.run(*src, benchRefs(cell.workload, 3'000'000));
+            auto result = ca.finish();
+
+            out.distance = result.distance;
+            out.sequenceLength = result.sequenceLength;
+            out.result.set("misses",
+                           static_cast<double>(result.misses));
+            out.result.set("perfect_frac", result.perfectFraction());
+            out.result.set("within_16",
+                (1.0 - result.uncorrelatedFraction()) *
+                    result.distance.cdfAt(16));
+            out.result.set("within_256",
+                (1.0 - result.uncorrelatedFraction()) *
+                    result.distance.cdfAt(256));
+            out.result.set("uncorrelated_frac",
+                           result.uncorrelatedFraction());
+            return out;
+        });
 
     Table left("Figure 6 (left): temporal correlation distance"
                " of all cache misses");
     left.setHeader({"benchmark", "misses", "perfect (+1)",
                     "|dist|<=16", "|dist|<=256", "uncorrelated"});
 
-    struct SeqRow
-    {
-        std::string name;
-        Log2Histogram lengths;
-    };
-    std::vector<SeqRow> imperfect;
-
-    for (const auto &name : workloads) {
-        CorrelationAnalysis ca(CacheConfig::l1d(), 16);
-        auto src = makeWorkload(name);
-        ca.run(*src, benchRefs(name, 3'000'000));
-        auto result = ca.finish();
-
-        left.addRow({name, std::to_string(result.misses),
-                     Table::pct(result.perfectFraction()),
-                     Table::pct((1.0 - result.uncorrelatedFraction()) *
-                                result.distance.cdfAt(16)),
-                     Table::pct((1.0 - result.uncorrelatedFraction()) *
-                                result.distance.cdfAt(256)),
-                     Table::pct(result.uncorrelatedFraction())});
-
-        if (result.uncorrelatedFraction() > 0.05)
-            imperfect.push_back({name, result.sequenceLength});
+    std::vector<const CorrelationCell *> imperfect;
+    for (const auto &c : per_cell) {
+        const RunResult &r = c.result;
+        left.addRow({r.cell.workload,
+                     std::to_string(static_cast<std::uint64_t>(
+                         r.get("misses"))),
+                     Table::pct(r.get("perfect_frac")),
+                     Table::pct(r.get("within_16")),
+                     Table::pct(r.get("within_256")),
+                     Table::pct(r.get("uncorrelated_frac"))});
+        if (r.get("uncorrelated_frac") > 0.05)
+            imperfect.push_back(&c);
     }
-    emitTable(left);
+    sink.table(left);
 
     Table right("Figure 6 (right): correlated-sequence lengths for"
                 " benchmarks with >5% uncorrelated misses");
     right.setHeader({"benchmark", "p50 length", "p90 length",
                      ">=2K frac", ">=32K frac"});
-    for (auto &row : imperfect) {
-        if (row.lengths.samples() == 0) {
-            right.addRow({row.name, "-", "-", "-", "-"});
+    for (const CorrelationCell *c : imperfect) {
+        const auto &lengths = c->sequenceLength;
+        if (lengths.samples() == 0) {
+            right.addRow({c->result.cell.workload, "-", "-", "-",
+                          "-"});
             continue;
         }
-        right.addRow({row.name,
-                      std::to_string(row.lengths.percentile(0.5)),
-                      std::to_string(row.lengths.percentile(0.9)),
-                      Table::pct(1.0 - row.lengths.cdfAt(2047)),
-                      Table::pct(1.0 - row.lengths.cdfAt(32767))});
+        right.addRow({c->result.cell.workload,
+                      std::to_string(lengths.percentile(0.5)),
+                      std::to_string(lengths.percentile(0.9)),
+                      Table::pct(1.0 - lengths.cdfAt(2047)),
+                      Table::pct(1.0 - lengths.cdfAt(32767))});
     }
-    emitTable(right);
-    return 0;
+    sink.table(right);
+
+    std::vector<RunResult> records;
+    for (auto &c : per_cell)
+        records.push_back(std::move(c.result));
+    sink.add(std::move(records));
+    return sink.finish();
 }

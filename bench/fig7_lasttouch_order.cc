@@ -15,49 +15,80 @@
 
 using namespace ltc;
 
-int
-main()
+namespace
 {
+
+/** Per-workload product: scalar record plus the full histogram. */
+struct LastTouchCell
+{
+    RunResult result;
+    Log2Histogram hist{40};
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ResultSink sink("fig7_lasttouch_order", argc, argv);
+    ExperimentRunner runner;
+
     const auto workloads = benchWorkloads({"all"});
+    auto cells = ExperimentRunner::cells(workloads);
+
+    auto per_cell = runner.map<LastTouchCell>(
+        cells.size(), [&](std::size_t i) {
+            const RunCell &cell = cells[i];
+            LastTouchCell out;
+            out.result.cell = cell;
+
+            CorrelationAnalysis ca(CacheConfig::l1d());
+            auto src = makeWorkload(cell.workload);
+            ca.run(*src, benchRefs(cell.workload, 3'000'000));
+            auto result = ca.finish();
+            out.hist = result.lastTouchDistance;
+            if (out.hist.samples() != 0) {
+                out.result.set("within_1", out.hist.cdfAt(1));
+                out.result.set("within_16", out.hist.cdfAt(16));
+                out.result.set("within_256", out.hist.cdfAt(256));
+                out.result.set("within_1k", out.hist.cdfAt(1024));
+            }
+            return out;
+        });
 
     Log2Histogram combined(40);
-    std::uint64_t perfect = 0;
-
     Table per("Figure 7 (per benchmark): |last-touch to miss"
               " correlation distance|");
     per.setHeader({"benchmark", "<=1", "<=16", "<=256", "<=1K"});
 
-    for (const auto &name : workloads) {
-        CorrelationAnalysis ca(CacheConfig::l1d());
-        auto src = makeWorkload(name);
-        ca.run(*src, benchRefs(name, 3'000'000));
-        auto result = ca.finish();
-        const auto &h = result.lastTouchDistance;
-        if (h.samples() == 0) {
-            per.addRow({name, "-", "-", "-", "-"});
-            continue;
+    std::vector<RunResult> records;
+    for (auto &c : per_cell) {
+        if (c.hist.samples() == 0) {
+            per.addRow({c.result.cell.workload, "-", "-", "-", "-"});
+        } else {
+            per.addRow({c.result.cell.workload,
+                        Table::pct(c.hist.cdfAt(1)),
+                        Table::pct(c.hist.cdfAt(16)),
+                        Table::pct(c.hist.cdfAt(256)),
+                        Table::pct(c.hist.cdfAt(1024))});
+            combined.merge(c.hist);
         }
-        per.addRow({name, Table::pct(h.cdfAt(1)),
-                    Table::pct(h.cdfAt(16)), Table::pct(h.cdfAt(256)),
-                    Table::pct(h.cdfAt(1024))});
-        for (unsigned b = 0; b < h.numBuckets(); b++)
-            combined.sample(b == 0 ? 0 : (1ull << b) - 1, h.bucket(b));
-        perfect += static_cast<std::uint64_t>(
-            h.cdfAt(1) * static_cast<double>(h.samples()));
+        records.push_back(std::move(c.result));
     }
-    emitTable(per);
+    sink.table(per);
 
     Table avg("Figure 7: CDF of |last-touch to miss correlation"
               " distance|, average");
     avg.setHeader({"|distance| <=", "CDF of misses"});
     for (const auto &[upper, frac] : combined.cdfSeries())
         avg.addRow({std::to_string(upper), Table::pct(frac)});
-    emitTable(avg);
+    sink.table(avg);
 
-    std::printf("perfectly ordered (distance <= 1): %s of misses "
-                "(paper: ~21%% at exactly +1)\n",
-                Table::pct(combined.cdfAt(1)).c_str());
-    std::printf("within +-1K: %s of misses (paper: >98%%)\n",
-                Table::pct(combined.cdfAt(1024)).c_str());
-    return 0;
+    sink.add(std::move(records));
+    sink.note("perfectly ordered (distance <= 1): " +
+              Table::pct(combined.cdfAt(1)) +
+              " of misses (paper: ~21% at exactly +1)");
+    sink.note("within +-1K: " + Table::pct(combined.cdfAt(1024)) +
+              " of misses (paper: >98%)");
+    return sink.finish();
 }

@@ -14,28 +14,32 @@
 
 using namespace ltc;
 
-namespace
-{
-
-std::vector<std::string>
-statsRow(const std::string &name, const char *pred,
-         const CoverageStats &s)
-{
-    const double opp = std::max<double>(1.0,
-        static_cast<double>(s.opportunity));
-    return {name,
-            pred,
-            Table::pct(static_cast<double>(s.correct) / opp),
-            Table::pct(static_cast<double>(s.incorrect()) / opp),
-            Table::pct(static_cast<double>(s.train()) / opp),
-            Table::pct(static_cast<double>(s.early) / opp)};
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    ResultSink sink("fig8_coverage", argc, argv);
+    ExperimentRunner runner;
+
+    const std::vector<std::string> predictors = {"lt-cords",
+                                                 "dbcp-unlimited"};
+    const auto cells = ExperimentRunner::cross(
+        benchWorkloads({"all"}), predictors);
+
+    auto results = runner.run(cells, [](const RunCell &cell,
+                                        RunResult &r) {
+        auto pred = makePredictor(cell.config, paperHierarchy());
+        auto src = makeWorkload(cell.workload);
+        auto s = runWithOpportunity(paperHierarchy(), pred.get(),
+                                    *src, benchRefs(cell.workload));
+        const double opp = std::max<double>(1.0,
+            static_cast<double>(s.opportunity));
+        r.set("correct", static_cast<double>(s.correct) / opp);
+        r.set("incorrect", static_cast<double>(s.incorrect()) / opp);
+        r.set("train", static_cast<double>(s.train()) / opp);
+        r.set("early", static_cast<double>(s.early) / opp);
+        r.set("coverage", s.coverage());
+    });
+
     Table table("Figure 8: LT-cords (A) vs unlimited DBCP (B),"
                 " % of prediction opportunity");
     table.setHeader({"benchmark", "predictor", "correct", "incorrect",
@@ -43,33 +47,23 @@ main()
 
     std::vector<double> ltc_cov;
     std::vector<double> oracle_cov;
-
-    for (const auto &name : benchWorkloads({"all"})) {
-        const std::uint64_t refs = benchRefs(name);
-        {
-            auto pred = makePredictor("lt-cords", paperHierarchy());
-            auto src = makeWorkload(name);
-            auto s = runWithOpportunity(paperHierarchy(), pred.get(),
-                                        *src, refs);
-            table.addRow(statsRow(name, "A:lt-cords", s));
-            ltc_cov.push_back(s.coverage());
-        }
-        {
-            auto pred = makePredictor("dbcp-unlimited",
-                                      paperHierarchy());
-            auto src = makeWorkload(name);
-            auto s = runWithOpportunity(paperHierarchy(), pred.get(),
-                                        *src, refs);
-            table.addRow(statsRow(name, "B:dbcp-unl", s));
-            oracle_cov.push_back(s.coverage());
-        }
+    for (const auto &r : results) {
+        const bool is_ltc = r.cell.config == "lt-cords";
+        table.addRow({r.cell.workload,
+                      is_ltc ? "A:lt-cords" : "B:dbcp-unl",
+                      Table::pct(r.get("correct")),
+                      Table::pct(r.get("incorrect")),
+                      Table::pct(r.get("train")),
+                      Table::pct(r.get("early"))});
+        (is_ltc ? ltc_cov : oracle_cov)
+            .push_back(r.get("coverage"));
     }
-    emitTable(table);
+    sink.table(table);
 
-    std::printf("mean coverage: lt-cords %s vs unlimited DBCP %s "
-                "(paper: LT-cords tracks the oracle closely; 69%% of "
-                "L1D misses eliminated on its suite)\n",
-                Table::pct(amean(ltc_cov)).c_str(),
-                Table::pct(amean(oracle_cov)).c_str());
-    return 0;
+    sink.add(std::move(results));
+    sink.note("mean coverage: lt-cords " + Table::pct(amean(ltc_cov)) +
+              " vs unlimited DBCP " + Table::pct(amean(oracle_cov)) +
+              " (paper: LT-cords tracks the oracle closely; 69% of "
+              "L1D misses eliminated on its suite)");
+    return sink.finish();
 }

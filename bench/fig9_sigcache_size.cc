@@ -15,49 +15,76 @@
 
 using namespace ltc;
 
-int
-main()
+namespace
 {
+
+double
+coverageAt(const std::string &workload, std::uint32_t entries)
+{
+    LtcordsConfig cfg = paperLtcords(paperHierarchy());
+    cfg.sigCacheEntries = entries;
+    cfg.sigCacheAssoc = 8; // paper uses 8-way to de-bias conflicts
+    LtCords ltc(cfg);
+    auto src = makeWorkload(workload);
+    auto s = runWithOpportunity(paperHierarchy(), &ltc, *src,
+                                benchRefs(workload, 2'500'000));
+    return s.coverage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ResultSink sink("fig9_sigcache_size", argc, argv);
+    ExperimentRunner runner;
+
     const auto workloads = benchWorkloads(
         {"swim", "mcf", "em3d", "equake", "facerec", "mgrid",
          "wupwise", "ammp"});
     const std::vector<std::uint32_t> sizes = {
         128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536};
 
-    // Reference coverage at the largest size.
-    std::vector<double> reference;
-    for (const auto &name : workloads) {
-        LtcordsConfig cfg = paperLtcords(paperHierarchy());
-        cfg.sigCacheEntries = sizes.back();
-        cfg.sigCacheAssoc = 8; // paper uses 8-way to de-bias conflicts
-        LtCords ltc(cfg);
-        auto src = makeWorkload(name);
-        auto s = runWithOpportunity(paperHierarchy(), &ltc, *src,
-                                    benchRefs(name, 2'500'000));
-        reference.push_back(std::max(s.coverage(), 1e-9));
+    std::vector<std::string> size_labels;
+    for (const std::uint32_t entries : sizes)
+        size_labels.push_back(std::to_string(entries));
+    auto results = runner.run(
+        ExperimentRunner::cross(workloads, size_labels),
+        [&](const RunCell &cell, RunResult &r) {
+            r.set("coverage",
+                  coverageAt(cell.workload,
+                             sizes[ExperimentRunner::configIndex(
+                                 cell, sizes.size())]));
+        });
+
+    // Normalize to each workload's largest-size cell — the last
+    // column of the sweep, so no separate reference pass is needed.
+    for (auto &r : results) {
+        const std::size_t w = ExperimentRunner::workloadIndex(
+            r.cell, sizes.size());
+        const double reference = std::max(
+            ExperimentRunner::at(results, w, sizes.size() - 1,
+                                 sizes.size())
+                .get("coverage"),
+            1e-9);
+        r.set("normalized", r.get("coverage") / reference);
     }
 
     Table table("Figure 9: coverage vs signature cache size,"
                 " normalized to the largest (8-way, FIFO)");
     table.setHeader({"entries", "~KB on chip", "avg % of achievable"});
 
-    for (const std::uint32_t entries : sizes) {
+    for (std::size_t s = 0; s < sizes.size(); s++) {
         std::vector<double> normalized;
-        for (std::size_t i = 0; i < workloads.size(); i++) {
-            LtcordsConfig cfg = paperLtcords(paperHierarchy());
-            cfg.sigCacheEntries = entries;
-            cfg.sigCacheAssoc = 8;
-            LtCords ltc(cfg);
-            auto src = makeWorkload(workloads[i]);
-            auto s = runWithOpportunity(paperHierarchy(), &ltc, *src,
-                                        benchRefs(workloads[i],
-                                                  2'500'000));
-            normalized.push_back(s.coverage() / reference[i]);
-        }
-        table.addRow({std::to_string(entries),
-                      Table::num(entries * 42.0 / 8.0 / 1024.0, 1),
+        for (std::size_t w = 0; w < workloads.size(); w++)
+            normalized.push_back(
+                ExperimentRunner::at(results, w, s, sizes.size())
+                    .get("normalized"));
+        table.addRow({size_labels[s],
+                      Table::num(sizes[s] * 42.0 / 8.0 / 1024.0, 1),
                       Table::pct(amean(normalized))});
     }
-    emitTable(table);
-    return 0;
+    sink.table(table);
+    sink.add(std::move(results));
+    return sink.finish();
 }

@@ -1,14 +1,22 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the hardware-structure models:
- * per-operation cost of the signature cache, history table, L1D
- * model, DBCP table, GHB and the full LT-cords observe path. These
- * bound the simulator's own throughput (host ns/op, not simulated
- * cycles).
+ * Microbenchmarks of the hardware-structure models: per-operation
+ * cost of the signature cache, history table, L1D model, DBCP
+ * table, GHB and the full LT-cords observe path. These bound the
+ * simulator's own throughput (host ns/op, not simulated cycles).
+ *
+ * Self-timed with <chrono> (no external benchmark library): each
+ * micro calibrates its iteration count until a run lasts at least
+ * ~50ms, then reports ns/op. Cells run on a single worker thread so
+ * timings are not distorted by sibling benchmarks; the JSON/CSV
+ * export is therefore the one bench output that is inherently
+ * host- and run-dependent.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <functional>
 
+#include "bench_common.hh"
 #include "cache/cache.hh"
 #include "core/ltcords.hh"
 #include "core/signature_cache.hh"
@@ -25,21 +33,61 @@ namespace
 
 using namespace ltc;
 
-void
-BM_CacheAccess(benchmark::State &state)
+/** Keep results observable so the loop bodies are not elided. */
+volatile std::uint64_t g_blackhole = 0;
+
+// A plain volatile store: unlike a read-modify-write it adds no
+// loop-carried dependency, so it does not inflate ns/op for the
+// cheapest structures.
+inline void
+consume(std::uint64_t v)
 {
-    Cache cache(CacheConfig::l1d());
-    Rng rng(1);
-    Addr addr = 0;
-    for (auto _ : state) {
-        addr = (addr + 64 * 7) & ((1 << 24) - 1);
-        benchmark::DoNotOptimize(cache.access(addr, MemOp::Load));
+    g_blackhole = v;
+}
+
+/**
+ * Measure @p op (which runs @p batch iterations per call): grow the
+ * batch count until a timed run lasts >= ~50ms, then report ns/op.
+ */
+double
+nsPerOp(const std::function<void(std::uint64_t)> &op)
+{
+    using clock = std::chrono::steady_clock;
+    constexpr double kMinSeconds = 0.05;
+    std::uint64_t iters = 1024;
+    for (;;) {
+        const auto start = clock::now();
+        op(iters);
+        const double elapsed =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+        if (elapsed >= kMinSeconds)
+            return elapsed * 1e9 / static_cast<double>(iters);
+        // Aim past the threshold with headroom, at least doubling.
+        const double target = elapsed > 0.0
+            ? static_cast<double>(iters) * kMinSeconds * 1.4 / elapsed
+            : static_cast<double>(iters) * 2.0;
+        iters = std::max(iters * 2,
+                         static_cast<std::uint64_t>(target));
     }
 }
-BENCHMARK(BM_CacheAccess);
 
-void
-BM_SignatureCacheLookup(benchmark::State &state)
+double
+cacheAccess()
+{
+    Cache cache(CacheConfig::l1d());
+    Addr addr = 0;
+    return nsPerOp([&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; i++) {
+            addr = (addr + 64 * 7) & ((1 << 24) - 1);
+            consume(static_cast<std::uint64_t>(
+                cache.access(addr, MemOp::Load).hit));
+        }
+    });
+}
+
+double
+sigCacheLookup()
 {
     SignatureCache sc(32 * 1024, 2);
     Rng rng(2);
@@ -49,44 +97,48 @@ BM_SignatureCacheLookup(benchmark::State &state)
         sc.insert(e);
     }
     std::uint64_t key = 12345;
-    for (auto _ : state) {
-        key = mix64(key);
-        benchmark::DoNotOptimize(sc.lookup(key));
-    }
+    return nsPerOp([&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; i++) {
+            key = mix64(key);
+            consume(sc.lookup(key) != nullptr);
+        }
+    });
 }
-BENCHMARK(BM_SignatureCacheLookup);
 
-void
-BM_SignatureCacheInsert(benchmark::State &state)
+double
+sigCacheInsert()
 {
     SignatureCache sc(32 * 1024, 2);
     std::uint64_t key = 1;
-    for (auto _ : state) {
-        key = mix64(key);
-        SigCacheEntry e;
-        e.key = key;
-        sc.insert(e);
-    }
+    return nsPerOp([&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; i++) {
+            key = mix64(key);
+            SigCacheEntry e;
+            e.key = key;
+            sc.insert(e);
+            consume(key);
+        }
+    });
 }
-BENCHMARK(BM_SignatureCacheInsert);
 
-void
-BM_HistoryTableUpdate(benchmark::State &state)
+double
+historyTableUpdate()
 {
     HistoryTable ht(512, 64);
     std::uint32_t set = 0;
     Addr pc = 0x1000;
-    for (auto _ : state) {
-        set = (set + 1) & 511;
-        pc += 4;
-        ht.recordAccess(set, pc);
-        benchmark::DoNotOptimize(ht.signatureKey(set));
-    }
+    return nsPerOp([&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; i++) {
+            set = (set + 1) & 511;
+            pc += 4;
+            ht.recordAccess(set, pc);
+            consume(ht.signatureKey(set));
+        }
+    });
 }
-BENCHMARK(BM_HistoryTableUpdate);
 
-void
-BM_DbcpObserve(benchmark::State &state)
+double
+dbcpObserve()
 {
     DbcpConfig cfg;
     cfg.tableEntries = DbcpConfig::entriesForBytes(1024 * 1024);
@@ -95,18 +147,19 @@ BM_DbcpObserve(benchmark::State &state)
     Addr addr = 0x10000000;
     MemRef ref;
     ref.pc = 0x1000;
-    for (auto _ : state) {
-        addr += 64;
-        ref.addr = addr;
-        const HierOutcome out = hier.access(addr, MemOp::Load);
-        dbcp.observe(ref, out);
-        dbcp.drainRequests();
-    }
+    return nsPerOp([&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; i++) {
+            addr += 64;
+            ref.addr = addr;
+            const HierOutcome out = hier.access(addr, MemOp::Load);
+            dbcp.observe(ref, out);
+            dbcp.drainRequests();
+        }
+    });
 }
-BENCHMARK(BM_DbcpObserve);
 
-void
-BM_GhbObserve(benchmark::State &state)
+double
+ghbObserve()
 {
     Ghb ghb(GhbConfig{});
     MemRef ref;
@@ -114,61 +167,112 @@ BM_GhbObserve(benchmark::State &state)
     HierOutcome out;
     out.level = HitLevel::Memory;
     Addr addr = 0x10000000;
-    for (auto _ : state) {
-        addr += 64;
-        ref.addr = addr;
-        ghb.observe(ref, out);
-        ghb.drainRequests();
-    }
+    return nsPerOp([&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; i++) {
+            addr += 64;
+            ref.addr = addr;
+            ghb.observe(ref, out);
+            ghb.drainRequests();
+        }
+    });
 }
-BENCHMARK(BM_GhbObserve);
 
-void
-BM_LtCordsObservePath(benchmark::State &state)
+double
+ltcordsObservePath()
 {
     LtCords ltc(paperLtcords(HierarchyConfig{}));
     CacheHierarchy hier(HierarchyConfig{});
     Addr addr = 0x10000000;
     MemRef ref;
     ref.pc = 0x1000;
-    for (auto _ : state) {
-        addr += 64;
-        if (addr > 0x10000000 + (4 << 20))
-            addr = 0x10000000; // loop a 4MB footprint
-        ref.addr = addr;
-        const HierOutcome out = hier.access(addr, MemOp::Load);
-        ltc.observe(ref, out);
-        ltc.drainRequests();
-    }
+    return nsPerOp([&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; i++) {
+            addr += 64;
+            if (addr > 0x10000000 + (4 << 20))
+                addr = 0x10000000; // loop a 4MB footprint
+            ref.addr = addr;
+            const HierOutcome out = hier.access(addr, MemOp::Load);
+            ltc.observe(ref, out);
+            ltc.drainRequests();
+        }
+    });
 }
-BENCHMARK(BM_LtCordsObservePath);
 
-void
-BM_WorkloadGeneration(benchmark::State &state)
+double
+workloadGeneration()
 {
     auto src = makeWorkload("mcf");
     MemRef ref;
-    for (auto _ : state) {
-        src->next(ref);
-        benchmark::DoNotOptimize(ref);
-    }
+    return nsPerOp([&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; i++) {
+            src->next(ref);
+            consume(ref.addr);
+        }
+    });
 }
-BENCHMARK(BM_WorkloadGeneration);
 
-void
-BM_TraceEngineStep(benchmark::State &state)
+double
+traceEngineStep()
 {
     auto pred = makePredictor("lt-cords", paperHierarchy());
     TraceEngine engine(paperHierarchy(), pred.get());
     auto src = makeWorkload("swim");
     MemRef ref;
-    for (auto _ : state) {
-        src->next(ref);
-        engine.step(ref);
-    }
+    return nsPerOp([&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; i++) {
+            src->next(ref);
+            engine.step(ref);
+        }
+    });
 }
-BENCHMARK(BM_TraceEngineStep);
+
+struct Micro
+{
+    const char *name;
+    double (*fn)();
+};
+
+const Micro kMicros[] = {
+    {"cache_access", cacheAccess},
+    {"sigcache_lookup", sigCacheLookup},
+    {"sigcache_insert", sigCacheInsert},
+    {"history_table_update", historyTableUpdate},
+    {"dbcp_observe", dbcpObserve},
+    {"ghb_observe", ghbObserve},
+    {"ltcords_observe_path", ltcordsObservePath},
+    {"workload_generation", workloadGeneration},
+    {"trace_engine_step", traceEngineStep},
+};
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    ResultSink sink("micro_structures", argc, argv);
+    // One worker: parallel siblings would share the core's caches
+    // and pollute every timing.
+    ExperimentRunner runner(1);
+
+    std::vector<RunCell> cells;
+    for (const Micro &m : kMicros) {
+        RunCell cell;
+        cell.config = m.name;
+        cells.push_back(std::move(cell));
+    }
+    ExperimentRunner::assignSeeds(cells);
+
+    auto results = runner.run(cells, [](const RunCell &cell,
+                                        RunResult &r) {
+        r.set("ns_per_op", kMicros[cell.index].fn());
+    });
+
+    Table table("Microbenchmarks: host ns per modelled operation");
+    table.setHeader({"structure", "ns/op"});
+    for (const auto &r : results)
+        table.addRow({r.cell.config,
+                      Table::num(r.get("ns_per_op"), 1)});
+    sink.table(table);
+    sink.add(std::move(results));
+    return sink.finish();
+}

@@ -13,8 +13,10 @@
 using namespace ltc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ResultSink sink("power_model", argc, argv);
+    ExperimentRunner runner;
     EnergyModel m;
 
     Table anchors("Section 5.9: CACTI anchors (70nm)");
@@ -30,26 +32,37 @@ main()
     anchors.addRow({"L1D leakage", Table::num(m.l1dLeakMw, 0) + " mW"});
     anchors.addRow({"LT-cords leakage (same transistors)",
                     Table::num(m.ltcLeakMw, 0) + " mW"});
-    emitTable(anchors);
+    sink.table(anchors);
+
+    const auto cells =
+        ExperimentRunner::cells(benchWorkloads({"all"}));
+    auto results = runner.run(cells, [&](const RunCell &cell,
+                                         RunResult &r) {
+        TraceEngine engine(paperHierarchy(), nullptr);
+        auto src = makeWorkload(cell.workload);
+        engine.run(*src, benchRefs(cell.workload, 1'000'000));
+        const double miss_rate = engine.stats().l1MissRate();
+        r.set("l1_miss_rate", miss_rate);
+        r.set("ltc_pj_per_access",
+              m.ltcDynamicPerAccessPj(miss_rate));
+        r.set("relative_dynamic", m.relativeDynamic(miss_rate));
+    });
 
     Table table("LT-cords dynamic power relative to L1D, at measured"
                 " miss rates");
     table.setHeader({"benchmark", "L1 miss rate", "LT-cords pJ/access",
                      "relative to L1D"});
-
-    for (const auto &name : benchWorkloads({"all"})) {
-        TraceEngine engine(paperHierarchy(), nullptr);
-        auto src = makeWorkload(name);
-        engine.run(*src, benchRefs(name, 1'000'000));
-        const double miss_rate = engine.stats().l1MissRate();
-        table.addRow({name, Table::pct(miss_rate),
-                      Table::num(m.ltcDynamicPerAccessPj(miss_rate), 1),
-                      Table::pct(m.relativeDynamic(miss_rate))});
+    for (const auto &r : results) {
+        table.addRow({r.cell.workload,
+                      Table::pct(r.get("l1_miss_rate")),
+                      Table::num(r.get("ltc_pj_per_access"), 1),
+                      Table::pct(r.get("relative_dynamic"))});
     }
-    emitTable(table);
+    sink.table(table);
 
-    std::printf("at the paper's conservative 20%% miss rate: %s of "
-                "L1D dynamic power (paper: ~48%%)\n",
-                Table::pct(m.relativeDynamic(0.2)).c_str());
-    return 0;
+    sink.add(std::move(results));
+    sink.note("at the paper's conservative 20% miss rate: " +
+              Table::pct(m.relativeDynamic(0.2)) +
+              " of L1D dynamic power (paper: ~48%)");
+    return sink.finish();
 }

@@ -14,30 +14,42 @@
 using namespace ltc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ResultSink sink("table2_baseline", argc, argv);
+    ExperimentRunner runner;
+
+    const auto cells =
+        ExperimentRunner::cells(benchWorkloads({"all"}));
+    auto results = runner.run(cells, [](const RunCell &cell,
+                                        RunResult &r) {
+        TimingConfig cfg = paperTiming();
+        TimingSim sim(cfg, nullptr);
+        auto src = makeWorkload(cell.workload);
+        sim.run(*src, benchRefs(cell.workload, 2'000'000));
+        const TimingStats s = sim.stats();
+        r.set("l1_miss_pct", s.accesses
+            ? 100.0 * static_cast<double>(s.l1Misses) /
+                static_cast<double>(s.accesses)
+            : 0.0);
+        r.set("l2_miss_pct", s.l1Misses
+            ? 100.0 * static_cast<double>(s.l2Misses) /
+                static_cast<double>(s.l1Misses)
+            : 0.0);
+        r.set("ipc", s.ipc);
+    });
+
     Table table("Table 2: baseline L1/L2 miss rates and IPC");
     table.setHeader({"benchmark", "suite", "L1 miss %", "L2 miss %",
                      "IPC"});
-
-    for (const auto &name : benchWorkloads({"all"})) {
-        const auto &info = workloadInfo(name);
-        TimingConfig cfg = paperTiming();
-        TimingSim sim(cfg, nullptr);
-        auto src = makeWorkload(name);
-        sim.run(*src, benchRefs(name, 2'000'000));
-        const TimingStats s = sim.stats();
-        const double l1 = s.accesses
-            ? 100.0 * static_cast<double>(s.l1Misses) /
-                static_cast<double>(s.accesses)
-            : 0.0;
-        const double l2 = s.l1Misses
-            ? 100.0 * static_cast<double>(s.l2Misses) /
-                static_cast<double>(s.l1Misses)
-            : 0.0;
-        table.addRow({name, suiteName(info.suite), Table::num(l1, 0),
-                      Table::num(l2, 0), Table::num(s.ipc, 2)});
+    for (const auto &r : results) {
+        const auto &info = workloadInfo(r.cell.workload);
+        table.addRow({r.cell.workload, suiteName(info.suite),
+                      Table::num(r.get("l1_miss_pct"), 0),
+                      Table::num(r.get("l2_miss_pct"), 0),
+                      Table::num(r.get("ipc"), 2)});
     }
-    emitTable(table);
-    return 0;
+    sink.table(table);
+    sink.add(std::move(results));
+    return sink.finish();
 }

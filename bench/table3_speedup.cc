@@ -12,6 +12,8 @@
  * (gzip, bzip2, twolf).
  */
 
+#include <map>
+
 #include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/timing_engine.hh"
@@ -27,6 +29,22 @@ struct Config
     const char *predictor;
     int hier; // 0 = base, 1 = perfect L1, 2 = 4MB L2
 };
+
+/** Sweep column order; "base" is the normalization run. */
+const Config kConfigs[] = {
+    {"base", "none", 0},       {"Perfect L1", "none", 1},
+    {"LT-cords", "lt-cords", 0}, {"GHB", "ghb", 0},
+    {"DBCP", "dbcp", 0},       {"4MB L2", "none", 2},
+};
+
+const Config &
+configByLabel(const std::string &label)
+{
+    for (const Config &c : kConfigs)
+        if (label == c.label)
+            return c;
+    ltc_fatal("unknown config label '", label, "'");
+}
 
 double
 runIpc(const std::string &workload, const Config &cfg)
@@ -46,13 +64,26 @@ runIpc(const std::string &workload, const Config &cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const Config configs[] = {
-        {"Perfect L1", "none", 1}, {"LT-cords", "lt-cords", 0},
-        {"GHB", "ghb", 0},         {"DBCP", "dbcp", 0},
-        {"4MB L2", "none", 2},
-    };
+    ResultSink sink("table3_speedup", argc, argv);
+    ExperimentRunner runner;
+
+    std::vector<std::string> labels;
+    for (const Config &c : kConfigs)
+        labels.push_back(c.label);
+    const auto workloads = benchWorkloads({"all"});
+    const auto cells = ExperimentRunner::cross(workloads, labels);
+
+    auto results = runner.run(cells, [](const RunCell &cell,
+                                        RunResult &r) {
+        r.set("ipc",
+              runIpc(cell.workload, configByLabel(cell.config)));
+    });
+
+    // Gains relative to each workload's "base" cell (first config).
+    const std::size_t stride = labels.size();
+    setGainsVsBase(results, stride);
 
     Table table("Table 3: % performance improvement over baseline");
     table.setHeader({"benchmark", "suite", "Perfect L1", "LT-cords",
@@ -61,16 +92,18 @@ main()
     std::map<std::string, std::vector<double>> suite_gains[5];
     std::vector<double> overall[5];
 
-    for (const auto &name : benchWorkloads({"all"})) {
-        const auto &info = workloadInfo(name);
-        const double base = runIpc(name, {"base", "none", 0});
-        std::vector<std::string> row = {name, suiteName(info.suite)};
-        for (int c = 0; c < 5; c++) {
-            const double ipc = runIpc(name, configs[c]);
-            const double gain = base > 0 ? (ipc / base - 1.0) : 0.0;
+    for (std::size_t w = 0; w < workloads.size(); w++) {
+        const auto &info = workloadInfo(workloads[w]);
+        std::vector<std::string> row = {workloads[w],
+                                        suiteName(info.suite)};
+        for (std::size_t c = 1; c < stride; c++) {
+            const double gain =
+                ExperimentRunner::at(results, w, c, stride)
+                    .get("gain_pct") /
+                100.0;
             row.push_back(Table::num(gain * 100.0, 0));
-            suite_gains[c][suiteName(info.suite)].push_back(gain);
-            overall[c].push_back(gain);
+            suite_gains[c - 1][suiteName(info.suite)].push_back(gain);
+            overall[c - 1].push_back(gain);
         }
         table.addRow(row);
     }
@@ -88,9 +121,9 @@ main()
         row.push_back(Table::num(amean(overall[c]) * 100.0, 0));
     table.addRow(row);
 
-    emitTable(table);
-
-    std::printf("paper means: Perfect L1 +123%%, LT-cords +60%%, GHB "
-                "+31%%, DBCP +17%%, 4MB L2 +16%%\n");
-    return 0;
+    sink.table(table);
+    sink.add(std::move(results));
+    sink.note("paper means: Perfect L1 +123%, LT-cords +60%, GHB "
+              "+31%, DBCP +17%, 4MB L2 +16%");
+    return sink.finish();
 }

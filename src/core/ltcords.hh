@@ -35,26 +35,38 @@
 namespace ltc
 {
 
+/** The LT-cords streaming predictor (see the file comment). */
 class LtCords : public Prefetcher
 {
   public:
+    /** Build an engine sized by @p config. */
     explicit LtCords(const LtcordsConfig &config);
 
+    /** Observe one reference: train, record, stream, predict. */
     void observe(const MemRef &ref, const HierOutcome &out) override;
+    /** A prefetched block evicted @p victim_addr (tracking). */
     void onPrefetchEviction(Addr victim_addr,
                             Addr incoming_addr) override;
+    /** Prefetch outcome feedback: drives confidence updates. */
     void feedback(const PrefetchFeedback &fb) override;
+    /** Advance the engine's notion of time (latency modelling). */
     void setNow(Cycle now) override;
+    /** Drain (write, read) off-chip signature bytes since last call. */
     std::pair<std::uint64_t, std::uint64_t> drainMetaTraffic() override;
 
+    /** Predictor name ("lt-cords"). */
     std::string name() const override { return "lt-cords"; }
+    /** Export engine counters into @p set. */
     void exportStats(StatSet &set) const override;
 
     /** Drop all predictor state (not normally done; see Section 5.5). */
     void clear();
 
+    /** Configuration the engine was built with. */
     const LtcordsConfig &config() const { return config_; }
+    /** Off-chip sequence storage (read access for stats/tests). */
     const SequenceStorage &storage() const { return storage_; }
+    /** On-chip signature cache (read access for stats/tests). */
     const SignatureCache &signatureCache() const { return sigCache_; }
 
     /** On-chip storage in bytes (signature cache + tag array). */

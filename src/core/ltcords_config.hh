@@ -79,14 +79,19 @@ struct LtcordsConfig
     //
     // Confidence (Section 4.4).
     //
+    /** Initial 2-bit confidence (2 expedites training). */
     std::uint8_t confidenceInit = 2;
+    /** Confidence at or above which predictions are acted on. */
     std::uint8_t confidenceThreshold = 2;
+    /** Saturation value of the confidence counter. */
     std::uint8_t confidenceMax = 3;
 
     //
     // L1D geometry (for the history table and victim set mapping).
     //
+    /** L1D set count (history table is per-set). */
     std::uint32_t l1Sets = 512;
+    /** Cache line size in bytes. */
     std::uint32_t lineBytes = 64;
 
     /** Off-chip sequence storage capacity, bytes. */

@@ -35,15 +35,21 @@ namespace ltc
 /** One signature as stored off chip. */
 struct StoredSignature
 {
+    /** Last-touch signature (history-trace hash mixed with tag). */
     std::uint64_t key = 0;
+    /** Predicted replacement block to prefetch. */
     Addr replacement = invalidAddr;
+    /** Block whose last touch this signature identifies. */
     Addr victim = invalidAddr;
+    /** 2-bit prediction confidence (written back, Section 4.4). */
     std::uint8_t confidence = 0;
 };
 
+/** Frames-of-fragments sequence store (see the file comment). */
 class SequenceStorage
 {
   public:
+    /** Build storage sized by @p config (numFrames x fragment). */
     explicit SequenceStorage(const LtcordsConfig &config);
 
     /**
@@ -105,6 +111,7 @@ class SequenceStorage
     /** Drop all recorded sequences. */
     void clear();
 
+    /** Configuration the storage was built with. */
     const LtcordsConfig &config() const { return config_; }
 
   private:

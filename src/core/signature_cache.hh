@@ -24,18 +24,25 @@ namespace ltc
 /** One signature resident in the on-chip cache. */
 struct SigCacheEntry
 {
+    /** Last-touch signature this entry matches. */
     std::uint64_t key = 0;
+    /** Predicted replacement block to prefetch. */
     Addr replacement = invalidAddr;
+    /** Block whose last touch this signature identifies. */
     Addr victim = invalidAddr;
+    /** 2-bit prediction confidence. */
     std::uint8_t confidence = 0;
-    /** Pointer into off-chip storage: frame index and offset. */
+    /** Pointer into off-chip storage: frame index. */
     std::uint32_t frame = 0;
+    /** Pointer into off-chip storage: offset within the fragment. */
     std::uint32_t offset = 0;
     /** FIFO stamp. */
     std::uint64_t fillTime = 0;
+    /** Entry holds a live signature. */
     bool valid = false;
 };
 
+/** Set-associative FIFO cache of active sliding windows. */
 class SignatureCache
 {
   public:
@@ -61,13 +68,20 @@ class SignatureCache
     /** Drop everything. */
     void clear();
 
+    /** Total entry capacity. */
     std::uint32_t entries() const { return entries_; }
+    /** Associativity. */
     std::uint32_t assoc() const { return assoc_; }
+    /** Number of sets (entries / assoc). */
     std::uint32_t numSets() const { return sets_; }
 
+    /** Lifetime insert count. */
     std::uint64_t inserts() const { return inserts_; }
+    /** Entries displaced by FIFO replacement. */
     std::uint64_t fifoEvictions() const { return fifoEvictions_; }
+    /** Lifetime lookup count. */
     std::uint64_t lookups() const { return lookups_; }
+    /** Lookups that found a valid entry. */
     std::uint64_t hits() const { return hits_; }
 
     /** Currently valid entries (O(capacity); for stats/tests). */

@@ -28,6 +28,7 @@ namespace ltc
 /** Configuration for a multi-programmed run. */
 struct MultiProgConfig
 {
+    /** Shared L1/L2 hierarchy geometry. */
     HierarchyConfig hier;
     /** References per scheduling quantum, per application. */
     std::vector<std::uint64_t> quantumRefs;

@@ -1,0 +1,804 @@
+#include "sim/runner.hh"
+
+#include <atomic>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace ltc
+{
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("LTC_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        // strtoul accepts a leading '-' (wrapping around), so check
+        // the first character ourselves.
+        if (env[0] < '0' || env[0] > '9' || end == env ||
+            *end != '\0' || v == 0 ||
+            v > std::numeric_limits<unsigned>::max())
+            ltc_fatal("LTC_JOBS must be a positive integer, got '",
+                      env, "'");
+        return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+// ------------------------------------------------------- RunResult
+
+void
+RunResult::set(const std::string &key, double value)
+{
+    for (auto &[k, v] : metrics_) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    metrics_.emplace_back(key, value);
+}
+
+double
+RunResult::get(const std::string &key) const
+{
+    for (const auto &[k, v] : metrics_)
+        if (k == key)
+            return v;
+    return 0.0;
+}
+
+bool
+RunResult::has(const std::string &key) const
+{
+    for (const auto &[k, v] : metrics_)
+        if (k == key)
+            return true;
+    return false;
+}
+
+// ------------------------------------------------ ExperimentRunner
+
+ExperimentRunner::ExperimentRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+}
+
+void
+ExperimentRunner::forEachIndex(
+    std::size_t count,
+    const std::function<void(std::size_t)> &fn) const
+{
+    if (count == 0)
+        return;
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; i++)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex errorLock;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> hold(errorLock);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; t++)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+std::vector<RunResult>
+ExperimentRunner::run(
+    const std::vector<RunCell> &cells,
+    const std::function<void(const RunCell &, RunResult &)> &fn)
+    const
+{
+    std::vector<RunResult> results(cells.size());
+    forEachIndex(cells.size(), [&](std::size_t i) {
+        results[i].cell = cells[i];
+        fn(cells[i], results[i]);
+    });
+    return results;
+}
+
+std::vector<RunCell>
+ExperimentRunner::cross(const std::vector<std::string> &workloads,
+                        const std::vector<std::string> &configs,
+                        std::uint64_t base_seed)
+{
+    std::vector<RunCell> cells;
+    cells.reserve(workloads.size() * configs.size());
+    for (const auto &w : workloads) {
+        for (const auto &c : configs) {
+            RunCell cell;
+            cell.workload = w;
+            cell.config = c;
+            cells.push_back(std::move(cell));
+        }
+    }
+    assignSeeds(cells, base_seed);
+    return cells;
+}
+
+std::vector<RunCell>
+ExperimentRunner::cells(const std::vector<std::string> &workloads,
+                        std::uint64_t base_seed)
+{
+    return cross(workloads, {""}, base_seed);
+}
+
+void
+ExperimentRunner::assignSeeds(std::vector<RunCell> &cells,
+                              std::uint64_t base_seed)
+{
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        cells[i].index = i;
+        cells[i].seed = hashCombine(base_seed, i);
+    }
+}
+
+// ---------------------------------------------------- serialization
+
+namespace
+{
+
+/** Shortest representation that parses back to the same double. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendRecordJson(std::string &out, const RunResult &r)
+{
+    out += "{\"cell\": ";
+    out += std::to_string(r.cell.index);
+    out += ", \"workload\": \"";
+    out += jsonEscape(r.cell.workload);
+    out += "\", \"config\": \"";
+    out += jsonEscape(r.cell.config);
+    out += "\", \"seed\": ";
+    out += std::to_string(r.cell.seed);
+    out += ", \"metrics\": {";
+    bool first = true;
+    for (const auto &[key, value] : r.metrics()) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        out += jsonEscape(key);
+        out += "\": ";
+        out += formatDouble(value);
+    }
+    out += "}}";
+}
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * Recursive-descent parser for the JSON subset the sink emits
+ * (objects, arrays, strings, numbers, true/false/null). Enough to
+ * round-trip our own documents; not a general-purpose validator.
+ */
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(const std::string &text) : text_(text) {}
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r' || text_[pos_] == '\t'))
+            pos_++;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            ltc_fatal("JSON parse error: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char ch)
+    {
+        if (peek() != ch)
+            ltc_fatal("JSON parse error: expected '", ch, "' at byte ",
+                      pos_, ", got '", text_[pos_], "'");
+        pos_++;
+    }
+
+    bool
+    consume(char ch)
+    {
+        if (peek() == ch) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                ltc_fatal("JSON parse error: unterminated string");
+            const char ch = text_[pos_++];
+            if (ch == '"')
+                return out;
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                ltc_fatal("JSON parse error: dangling escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    ltc_fatal("JSON parse error: short \\u escape");
+                unsigned code = 0;
+                const auto res = std::from_chars(
+                    text_.data() + pos_, text_.data() + pos_ + 4,
+                    code, 16);
+                if (res.ptr != text_.data() + pos_ + 4)
+                    ltc_fatal("JSON parse error: bad \\u escape");
+                pos_ += 4;
+                // The sink only emits \u00xx control codes; decode
+                // the Latin-1 subset and reject the rest.
+                if (code > 0xff)
+                    ltc_fatal("JSON parse error: unsupported \\u",
+                              "escape > 0xff");
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                ltc_fatal("JSON parse error: bad escape '\\", esc,
+                          "'");
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        skipSpace();
+        double v = 0.0;
+        const auto res = std::from_chars(
+            text_.data() + pos_, text_.data() + text_.size(), v);
+        if (res.ec != std::errc{})
+            ltc_fatal("JSON parse error: bad number at byte ", pos_);
+        pos_ = static_cast<std::size_t>(res.ptr - text_.data());
+        return v;
+    }
+
+    std::uint64_t
+    parseUint()
+    {
+        skipSpace();
+        std::uint64_t v = 0;
+        const auto res = std::from_chars(
+            text_.data() + pos_, text_.data() + text_.size(), v);
+        if (res.ec != std::errc{})
+            ltc_fatal("JSON parse error: bad integer at byte ", pos_);
+        pos_ = static_cast<std::size_t>(res.ptr - text_.data());
+        return v;
+    }
+
+    /** Skip one complete value of any supported type. */
+    void
+    skipValue()
+    {
+        const char ch = peek();
+        if (ch == '"') {
+            parseString();
+        } else if (ch == '{') {
+            pos_++;
+            if (consume('}'))
+                return;
+            do {
+                parseString();
+                expect(':');
+                skipValue();
+            } while (consume(','));
+            expect('}');
+        } else if (ch == '[') {
+            pos_++;
+            if (consume(']'))
+                return;
+            do {
+                skipValue();
+            } while (consume(','));
+            expect(']');
+        } else if (ch == 't' || ch == 'f' || ch == 'n') {
+            while (pos_ < text_.size() &&
+                   std::isalpha(static_cast<unsigned char>(
+                       text_[pos_])))
+                pos_++;
+        } else {
+            parseNumber();
+        }
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+RunResult
+parseRecord(JsonCursor &cur)
+{
+    RunResult r;
+    cur.expect('{');
+    if (cur.consume('}'))
+        return r;
+    do {
+        const std::string key = cur.parseString();
+        cur.expect(':');
+        if (key == "cell") {
+            r.cell.index =
+                static_cast<std::size_t>(cur.parseUint());
+        } else if (key == "workload") {
+            r.cell.workload = cur.parseString();
+        } else if (key == "config") {
+            r.cell.config = cur.parseString();
+        } else if (key == "seed") {
+            r.cell.seed = cur.parseUint();
+        } else if (key == "metrics") {
+            cur.expect('{');
+            if (!cur.consume('}')) {
+                do {
+                    const std::string mkey = cur.parseString();
+                    cur.expect(':');
+                    r.set(mkey, cur.parseNumber());
+                } while (cur.consume(','));
+                cur.expect('}');
+            }
+        } else {
+            cur.skipValue();
+        }
+    } while (cur.consume(','));
+    cur.expect('}');
+    return r;
+}
+
+std::vector<RunResult>
+parseRecordArray(JsonCursor &cur)
+{
+    std::vector<RunResult> records;
+    cur.expect('[');
+    if (cur.consume(']'))
+        return records;
+    do {
+        records.push_back(parseRecord(cur));
+    } while (cur.consume(','));
+    cur.expect(']');
+    return records;
+}
+
+/**
+ * Split CSV text into records of fields, honouring RFC-4180
+ * quoting — including record separators inside quoted fields, so
+ * any resultsToCsv() output parses back.
+ */
+std::vector<std::vector<std::string>>
+splitCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    bool rowStarted = false;
+    auto endRow = [&] {
+        if (!rowStarted)
+            return;
+        fields.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(fields));
+        fields.clear();
+        rowStarted = false;
+    };
+    for (std::size_t i = 0; i < text.size(); i++) {
+        const char ch = text[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    i++;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += ch;
+            }
+        } else if (ch == '"') {
+            quoted = true;
+            rowStarted = true;
+        } else if (ch == ',') {
+            fields.push_back(std::move(field));
+            field.clear();
+            rowStarted = true;
+        } else if (ch == '\n') {
+            endRow();
+        } else if (ch != '\r') {
+            field += ch;
+            rowStarted = true;
+        }
+    }
+    endRow();
+    return rows;
+}
+
+} // namespace
+
+std::string
+resultsToJson(const std::vector<RunResult> &records)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < records.size(); i++) {
+        out += i ? ",\n " : "\n ";
+        appendRecordJson(out, records[i]);
+    }
+    out += records.empty() ? "]" : "\n]";
+    return out;
+}
+
+std::string
+resultsToCsv(const std::vector<RunResult> &records)
+{
+    // Metric columns: union of keys in first-appearance order.
+    std::vector<std::string> keys;
+    for (const auto &r : records) {
+        for (const auto &[key, value] : r.metrics()) {
+            bool known = false;
+            for (const auto &k : keys)
+                if (k == key)
+                    known = true;
+            if (!known)
+                keys.push_back(key);
+        }
+    }
+
+    std::string out = "cell,workload,config,seed";
+    for (const auto &k : keys) {
+        out += ',';
+        out += csvEscape(k);
+    }
+    out += '\n';
+    for (const auto &r : records) {
+        out += std::to_string(r.cell.index);
+        out += ',';
+        out += csvEscape(r.cell.workload);
+        out += ',';
+        out += csvEscape(r.cell.config);
+        out += ',';
+        out += std::to_string(r.cell.seed);
+        for (const auto &k : keys) {
+            out += ',';
+            if (r.has(k))
+                out += formatDouble(r.get(k));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<RunResult>
+resultsFromJson(const std::string &text)
+{
+    JsonCursor cur(text);
+    if (cur.peek() == '[')
+        return parseRecordArray(cur);
+
+    // Full sink document: scan the top-level object for "records".
+    std::vector<RunResult> records;
+    bool found = false;
+    cur.expect('{');
+    if (cur.consume('}'))
+        ltc_fatal("JSON document has no \"records\" array");
+    do {
+        const std::string key = cur.parseString();
+        cur.expect(':');
+        if (key == "records") {
+            records = parseRecordArray(cur);
+            found = true;
+        } else {
+            cur.skipValue();
+        }
+    } while (cur.consume(','));
+    cur.expect('}');
+    if (!found)
+        ltc_fatal("JSON document has no \"records\" array");
+    return records;
+}
+
+std::vector<RunResult>
+resultsFromCsv(const std::string &text)
+{
+    std::vector<RunResult> records;
+    std::vector<std::string> keys;
+    bool header = true;
+    for (auto &fields : splitCsv(text)) {
+        if (header) {
+            if (fields.size() < 4 || fields[0] != "cell")
+                ltc_fatal("CSV parse error: bad header row of ",
+                          fields.size(), " fields");
+            keys.assign(fields.begin() + 4, fields.end());
+            header = false;
+            continue;
+        }
+        if (fields.size() != keys.size() + 4)
+            ltc_fatal("CSV parse error: row width ", fields.size(),
+                      " != header width ", keys.size() + 4);
+        auto parseId = [](const std::string &field,
+                          const char *what) {
+            std::uint64_t v = 0;
+            const auto res = std::from_chars(
+                field.data(), field.data() + field.size(), v);
+            if (res.ec != std::errc{} ||
+                res.ptr != field.data() + field.size())
+                ltc_fatal("CSV parse error: bad ", what, " '", field,
+                          "'");
+            return v;
+        };
+        RunResult r;
+        r.cell.index =
+            static_cast<std::size_t>(parseId(fields[0], "cell"));
+        r.cell.workload = fields[1];
+        r.cell.config = fields[2];
+        r.cell.seed = parseId(fields[3], "seed");
+        for (std::size_t k = 0; k < keys.size(); k++) {
+            const std::string &field = fields[4 + k];
+            if (field.empty())
+                continue;
+            double v = 0.0;
+            const auto res = std::from_chars(
+                field.data(), field.data() + field.size(), v);
+            if (res.ec != std::errc{})
+                ltc_fatal("CSV parse error: bad number '", field,
+                          "'");
+            r.set(keys[k], v);
+        }
+        records.push_back(std::move(r));
+    }
+    return records;
+}
+
+// --------------------------------------------------------- ResultSink
+
+ResultSink::ResultSink(std::string bench, int argc,
+                       char *const *argv)
+    : bench_(std::move(bench))
+{
+    if (const char *env = std::getenv("LTC_JSON"))
+        jsonPath_ = env;
+    if (const char *env = std::getenv("LTC_CSV"))
+        csvPath_ = env;
+
+    auto takeValue = [&](int &i, const std::string &arg,
+                         const char *flag) -> const char * {
+        const std::string prefix = std::string(flag) + "=";
+        if (arg.rfind(prefix, 0) == 0)
+            return argv[i] + prefix.size();
+        if (arg == flag) {
+            if (i + 1 >= argc)
+                ltc_fatal(flag, " requires a path argument");
+            return argv[++i];
+        }
+        return nullptr;
+    };
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (const char *v = takeValue(i, arg, "--json")) {
+            if (*v == '\0')
+                ltc_fatal("--json requires a non-empty path");
+            jsonPath_ = v;
+        } else if (const char *v = takeValue(i, arg, "--csv")) {
+            if (*v == '\0')
+                ltc_fatal("--csv requires a non-empty path");
+            csvPath_ = v;
+        } else {
+            ltc_fatal("unknown argument '", arg, "'; usage: ", bench_,
+                      " [--json <path>] [--csv <path>] (or LTC_JSON/",
+                      "LTC_CSV env vars; \"-\" = stdout)");
+        }
+    }
+}
+
+void
+ResultSink::table(const Table &t)
+{
+    std::fputs(t.render().c_str(), stdout);
+    std::fputs("\n[csv]\n", stdout);
+    std::fputs(t.csv().c_str(), stdout);
+    std::fputs("\n", stdout);
+    tables_.push_back(t);
+}
+
+void
+ResultSink::add(std::vector<RunResult> records)
+{
+    for (auto &r : records)
+        records_.push_back(std::move(r));
+}
+
+void
+ResultSink::note(const std::string &line)
+{
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    notes_.push_back(line);
+}
+
+std::string
+ResultSink::json() const
+{
+    std::string out = "{\"bench\": \"";
+    out += jsonEscape(bench_);
+    out += "\", \"schema\": 1,\n\"records\": ";
+    out += resultsToJson(records_);
+    out += ",\n\"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); t++) {
+        const Table &table = tables_[t];
+        out += t ? ",\n " : "\n ";
+        out += "{\"title\": \"";
+        out += jsonEscape(table.title());
+        out += "\", \"header\": [";
+        for (std::size_t i = 0; i < table.header().size(); i++) {
+            if (i)
+                out += ", ";
+            out += '"';
+            out += jsonEscape(table.header()[i]);
+            out += '"';
+        }
+        out += "], \"rows\": [";
+        for (std::size_t r = 0; r < table.rows().size(); r++) {
+            if (r)
+                out += ", ";
+            out += '[';
+            const auto &row = table.rows()[r];
+            for (std::size_t i = 0; i < row.size(); i++) {
+                if (i)
+                    out += ", ";
+                out += '"';
+                out += jsonEscape(row[i]);
+                out += '"';
+            }
+            out += ']';
+        }
+        out += "]}";
+    }
+    out += tables_.empty() ? "]" : "\n]";
+    out += ",\n\"notes\": [";
+    for (std::size_t i = 0; i < notes_.size(); i++) {
+        if (i)
+            out += ", ";
+        out += '"';
+        out += jsonEscape(notes_[i]);
+        out += '"';
+    }
+    out += "]}\n";
+    return out;
+}
+
+int
+ResultSink::finish()
+{
+    auto write = [&](const std::string &path,
+                     const std::string &content, const char *kind) {
+        if (path.empty())
+            return;
+        if (path == "-") {
+            std::fputs(content.c_str(), stdout);
+            return;
+        }
+        std::ofstream out(path, std::ios::binary);
+        if (!out)
+            ltc_fatal("cannot open ", kind, " output file '", path,
+                      "'");
+        out << content;
+        if (!out)
+            ltc_fatal("error writing ", kind, " output file '", path,
+                      "'");
+    };
+    write(jsonPath_, json(), "JSON");
+    write(csvPath_, resultsToCsv(records_), "CSV");
+    return 0;
+}
+
+} // namespace ltc

@@ -38,11 +38,11 @@ struct SamplingConfig
 /** Aggregated sampled measurement. */
 struct SampledResult
 {
-    double meanIpc = 0.0;
+    double meanIpc = 0.0; //!< mean of the per-window IPCs
     /** 95% confidence half-width as a fraction of the mean. */
     double ci95Frac = 0.0;
-    std::uint64_t samples = 0;
-    InstCount instructions = 0;
+    std::uint64_t samples = 0;  //!< measurement windows taken
+    InstCount instructions = 0; //!< instructions in measured windows
 };
 
 /**

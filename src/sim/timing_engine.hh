@@ -47,10 +47,15 @@ namespace ltc
 /** Full configuration of the timing engine (Table 1 defaults). */
 struct TimingConfig
 {
+    /** Out-of-order core model parameters. */
     CoreConfig core;
+    /** L1/L2 hierarchy geometry. */
     HierarchyConfig hier;
+    /** L1-L2 bus channels. */
     BusConfig l1l2Bus = BusConfig::l1l2();
+    /** Memory bus channels. */
     BusConfig memBus = BusConfig::memory();
+    /** DRAM latency model parameters. */
     DramConfig dram;
     /** Predictor request queue entries. */
     std::uint32_t prefetchQueueEntries = 128;
@@ -59,21 +64,21 @@ struct TimingConfig
 /** Results of a timing run. */
 struct TimingStats
 {
-    Cycle cycles = 0;
-    InstCount instructions = 0;
-    double ipc = 0.0;
+    Cycle cycles = 0;           //!< simulated cycles
+    InstCount instructions = 0; //!< committed instructions
+    double ipc = 0.0;           //!< instructions / cycles
 
-    std::uint64_t accesses = 0;
-    std::uint64_t l1Misses = 0;
-    std::uint64_t l2Misses = 0;
+    std::uint64_t accesses = 0; //!< memory references processed
+    std::uint64_t l1Misses = 0; //!< demand L1D misses
+    std::uint64_t l2Misses = 0; //!< demand L2 misses
     std::uint64_t correct = 0;   //!< demand hits on prefetched blocks
     std::uint64_t partial = 0;   //!< prefetched but still in flight
     std::uint64_t useless = 0;   //!< prefetched blocks never used
     std::uint64_t dropped = 0;   //!< queue overflow drops
 
-    BandwidthAccount traffic;
-    Cycle memBusBusy = 0;
-    Cycle l1l2BusBusy = 0;
+    BandwidthAccount traffic; //!< bytes moved, by traffic class
+    Cycle memBusBusy = 0;     //!< memory-bus busy cycles
+    Cycle l1l2BusBusy = 0;    //!< L1-L2 bus busy cycles
     /** Cycles transfers spent queued, per channel (contention). */
     Cycle l1l2ReqQueue = 0;
     Cycle l1l2DataQueue = 0;
@@ -82,6 +87,7 @@ struct TimingStats
     /** Sum of demand L1-miss service latencies (completion - ready). */
     Cycle missLatencyTotal = 0;
 
+    /** Bytes of traffic class @p t moved per committed instruction. */
     double
     bytesPerInstruction(Traffic t) const
     {
@@ -89,14 +95,21 @@ struct TimingStats
     }
 };
 
+/** The cycle timing engine (see the file comment). */
 class TimingSim : public CacheListener
 {
   public:
+    /**
+     * @param config Machine configuration.
+     * @param pred   Predictor driven by the engine (may be null for
+     *               baseline runs); not owned.
+     */
     TimingSim(const TimingConfig &config, Prefetcher *pred);
+    /** Detaches the engine from the hierarchy's listener list. */
     ~TimingSim() override;
 
-    TimingSim(const TimingSim &) = delete;
-    TimingSim &operator=(const TimingSim &) = delete;
+    TimingSim(const TimingSim &) = delete;            //!< non-copyable
+    TimingSim &operator=(const TimingSim &) = delete; //!< non-copyable
 
     /** Process one reference. */
     void step(const MemRef &ref);
@@ -107,10 +120,12 @@ class TimingSim : public CacheListener
     /** Snapshot of current results. */
     TimingStats stats() const;
 
+    /** The core model (test access). */
     OooCore &core() { return core_; }
+    /** The cache hierarchy (test access). */
     CacheHierarchy &hierarchy() { return hier_; }
 
-    // CacheListener (L1D evictions -> prefetch usefulness feedback).
+    /** CacheListener: L1D evictions -> prefetch usefulness feedback. */
     void onEviction(Addr victim_addr, Addr incoming_addr,
                     std::uint32_t set, bool by_prefetch,
                     bool victim_was_untouched_prefetch) override;

@@ -44,19 +44,21 @@ namespace ltc
 /** Per-bucket coverage and traffic statistics. */
 struct CoverageStats
 {
-    std::uint64_t accesses = 0;
-    std::uint64_t l1Misses = 0;
-    std::uint64_t l2Misses = 0;
+    std::uint64_t accesses = 0; //!< memory references processed
+    std::uint64_t l1Misses = 0; //!< demand L1D misses
+    std::uint64_t l2Misses = 0; //!< demand L2 misses
 
-    std::uint64_t correct = 0;
+    std::uint64_t correct = 0; //!< misses eliminated by prefetches
+    /** Prefetched blocks evicted without ever being touched. */
     std::uint64_t uselessPrefetches = 0;
+    /** Extra misses from predictor-evicted still-live blocks. */
     std::uint64_t early = 0;
     /** Baseline misses over the same stream (set by the harness). */
     std::uint64_t opportunity = 0;
 
     std::uint64_t instructions = 0; //!< memory refs + nonMemGap
 
-    BandwidthAccount traffic;
+    BandwidthAccount traffic; //!< bytes moved, by traffic class
 
     /** Misses attributed to wrong predictions (Fig. 8 "incorrect"). */
     std::uint64_t
@@ -85,6 +87,7 @@ struct CoverageStats
                            : 0.0;
     }
 
+    /** L1D misses per access. */
     double l1MissRate() const
     {
         return accesses ? static_cast<double>(l1Misses) /
@@ -93,6 +96,7 @@ struct CoverageStats
     }
 };
 
+/** The trace-driven coverage engine (see the file comment). */
 class TraceEngine : public CacheListener
 {
   public:
@@ -104,10 +108,11 @@ class TraceEngine : public CacheListener
      */
     TraceEngine(const HierarchyConfig &hier_config, Prefetcher *pred,
                 std::uint32_t buckets = 1);
+    /** Detaches the engine from the hierarchy's listener list. */
     ~TraceEngine() override;
 
-    TraceEngine(const TraceEngine &) = delete;
-    TraceEngine &operator=(const TraceEngine &) = delete;
+    TraceEngine(const TraceEngine &) = delete;            //!< non-copyable
+    TraceEngine &operator=(const TraceEngine &) = delete; //!< non-copyable
 
     /** Route subsequent events to bucket @p bucket. */
     void selectBucket(std::uint32_t bucket);
@@ -118,13 +123,17 @@ class TraceEngine : public CacheListener
     /** Process up to @p refs references from @p src. */
     std::uint64_t run(TraceSource &src, std::uint64_t refs);
 
+    /** Statistics of bucket @p bucket. */
     const CoverageStats &stats(std::uint32_t bucket = 0) const;
+    /** Mutable statistics of bucket @p bucket (harness use). */
     CoverageStats &stats(std::uint32_t bucket = 0);
 
+    /** The cache hierarchy (test access). */
     CacheHierarchy &hierarchy() { return hier_; }
+    /** The attached predictor (null for baseline runs). */
     Prefetcher *predictor() { return pred_; }
 
-    // CacheListener (L1D eviction events).
+    /** CacheListener: classifies L1D eviction events. */
     void onEviction(Addr victim_addr, Addr incoming_addr,
                     std::uint32_t set, bool by_prefetch,
                     bool victim_was_untouched_prefetch) override;

@@ -76,6 +76,17 @@ Log2Histogram::mean() const
 }
 
 void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    for (unsigned i = 0; i < other.numBuckets(); i++) {
+        const unsigned idx = std::min<unsigned>(i, numBuckets() - 1);
+        buckets_[idx] += other.buckets_[i];
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+void
 Log2Histogram::clear()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -128,6 +139,23 @@ double
 RunningStats::stddev() const
 {
     return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    n_ += other.n_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
 }
 
 void

@@ -54,6 +54,14 @@ class Log2Histogram
     /** Mean of the recorded samples (exact, not bucketed). */
     double mean() const;
 
+    /**
+     * Fold @p other into this histogram bucket-by-bucket. Unlike
+     * re-sampling bucket lower bounds, merging preserves the exact
+     * sample total and mean. Bucket counts beyond this histogram's
+     * range clamp into the last bucket (same as sample()).
+     */
+    void merge(const Log2Histogram &other);
+
     void clear();
 
     /**
@@ -80,6 +88,10 @@ class RunningStats
     double max() const { return n_ ? max_ : 0.0; }
     double variance() const;
     double stddev() const;
+
+    /** Fold @p other's samples into this accumulator. */
+    void merge(const RunningStats &other);
+
     void clear();
 
   private:

@@ -43,6 +43,18 @@ class Table
 
     std::size_t numRows() const { return rows_.size(); }
 
+    /** Table title ("" if none). */
+    const std::string &title() const { return title_; }
+
+    /** Column headers (empty if none set). */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** All rows, in insertion order. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::string title_;
     std::vector<std::string> header_;

@@ -34,6 +34,68 @@ TEST(Log2HistogramTest, BucketBoundaries)
     EXPECT_EQ(h.bucket(3), 1u);
 }
 
+TEST(Log2HistogramTest, MergePreservesTotalsAndMean)
+{
+    Log2Histogram a, b;
+    for (std::uint64_t v : {0ull, 1ull, 5ull, 100ull})
+        a.sample(v);
+    for (std::uint64_t v : {3ull, 1000ull, 1ull << 20})
+        b.sample(v, 2);
+
+    Log2Histogram merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.samples(), a.samples() + b.samples());
+    // merge() folds the exact sums, unlike re-sampling bucket lower
+    // bounds, so the mean stays exact.
+    EXPECT_DOUBLE_EQ(merged.mean() *
+                         static_cast<double>(merged.samples()),
+                     a.mean() * static_cast<double>(a.samples()) +
+                         b.mean() * static_cast<double>(b.samples()));
+    for (unsigned i = 0; i < merged.numBuckets(); i++)
+        EXPECT_EQ(merged.bucket(i), a.bucket(i) + b.bucket(i));
+
+    // Merging an empty histogram is a no-op.
+    Log2Histogram empty;
+    Log2Histogram copy = merged;
+    copy.merge(empty);
+    EXPECT_EQ(copy.samples(), merged.samples());
+}
+
+TEST(Log2HistogramTest, MergeClampsWiderHistograms)
+{
+    Log2Histogram narrow(4);
+    Log2Histogram wide(40);
+    wide.sample(1ull << 30);
+    narrow.merge(wide);
+    EXPECT_EQ(narrow.samples(), 1u);
+    EXPECT_EQ(narrow.bucket(3), 1u); // clamped into the last bucket
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedSampling)
+{
+    RunningStats a, b, all;
+    for (double v : {1.0, 2.0, 3.5}) {
+        a.sample(v);
+        all.sample(v);
+    }
+    for (double v : {-4.0, 10.0}) {
+        b.sample(v);
+        all.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    EXPECT_DOUBLE_EQ(a.variance(), all.variance());
+
+    // Merging into an empty accumulator copies the other side.
+    RunningStats fresh;
+    fresh.merge(all);
+    EXPECT_EQ(fresh.count(), all.count());
+    EXPECT_DOUBLE_EQ(fresh.min(), all.min());
+}
+
 TEST(Log2HistogramTest, CdfMonotone)
 {
     Log2Histogram h;

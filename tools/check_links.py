@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs.
+
+Scans the given markdown files (or the repo's default doc set) for
+inline links and verifies that every *relative* target exists on
+disk. External (http/https/mailto) links and pure in-page anchors
+are skipped -- CI must not depend on network access. Exits 1 if any
+link is broken, 0 otherwise.
+
+Usage: tools/check_links.py [file.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) -- stop at whitespace or ')' inside the target so
+# "(see [x](y))" parses; images use the same syntax with a '!' prefix.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+DEFAULT_DOCS = ["README.md", "ARCHITECTURE.md", "PAPER.md",
+                "CHANGES.md", "ROADMAP.md", "docs"]
+
+
+def doc_files(args):
+    root = Path(__file__).resolve().parent.parent
+    if args:
+        return [Path(a) for a in args]
+    files = []
+    for entry in DEFAULT_DOCS:
+        path = root / entry
+        if path.is_dir():
+            files.extend(sorted(path.glob("**/*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def check_file(md):
+    broken = []
+    text = md.read_text(encoding="utf-8")
+    in_code_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv):
+    files = doc_files(argv[1:])
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    total_broken = 0
+    for md in files:
+        for lineno, target in check_file(md):
+            print(f"{md}:{lineno}: broken link -> {target}")
+            total_broken += 1
+    print(f"check_links: {len(files)} files, "
+          f"{total_broken} broken links")
+    # Not the raw count: exit codes wrap modulo 256.
+    return 1 if total_broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
