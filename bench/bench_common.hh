@@ -20,6 +20,9 @@
  *                  command line
  *   LTC_CSV        path for the per-cell CSV export ("-" = stdout);
  *                  also `--csv <path>`
+ *   LTC_TRACE_DIR  directory of captured .ltct trace containers;
+ *                  each is registered as workload "trace:<stem>"
+ *                  and swept like a built-in (also `--trace-dir`)
  */
 
 #ifndef LTC_BENCH_BENCH_COMMON_HH

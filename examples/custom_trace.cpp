@@ -1,11 +1,15 @@
 /**
  * @file
  * Bring-your-own-trace: build a reference stream programmatically
- * (or load one from a file captured elsewhere), write it to the
- * binary trace format, reload it, analyse its temporal correlation,
- * and run LT-cords over it.
+ * (or load one from a file captured elsewhere), stream it into the
+ * .ltct v2 container, demonstrate v1 -> v2 conversion, reload it,
+ * analyse its temporal correlation, and run LT-cords over it.
  *
- *   $ ./custom_trace [path.bin]   # analyse an existing trace file
+ *   $ ./custom_trace [path.ltct]   # analyse an existing trace file
+ *
+ * Accepts v1 or v2 containers; see docs/TRACE_FORMAT.md and the
+ * ltc-trace CLI for recording, converting (including ChampSim
+ * imports) and inspecting containers from the shell.
  */
 
 #include <cstdio>
@@ -18,6 +22,7 @@
 #include "sim/trace_engine.hh"
 #include "trace/file_trace.hh"
 #include "trace/primitives.hh"
+#include "trace/trace_io.hh"
 
 int
 main(int argc, char **argv)
@@ -30,7 +35,7 @@ main(int argc, char **argv)
     } else {
         // Synthesise a demo trace: a loop nest touching two arrays
         // plus a short pointer walk, repeated 8 times.
-        path = "custom_demo_trace.bin";
+        path = "custom_demo_trace.ltct";
         std::vector<ScanArray> arrays;
         ScanArray a;
         a.base = 0x10000000;
@@ -51,10 +56,39 @@ main(int argc, char **argv)
         kids.push_back(std::move(chase));
         InterleaveSource mixed(std::move(kids), {4, 1});
 
-        const auto refs = collect(mixed, 8 * 5 * 4096);
-        writeTraceFile(path, refs);
-        std::printf("wrote %zu references to %s\n", refs.size(),
+        // Stream straight to the v2 container: no in-memory copy of
+        // the whole trace is needed, however long the capture.
+        std::uint64_t written = 0;
+        TraceErrc errc = captureToFile(mixed, path, 8 * 5 * 4096,
+                                       &written);
+        if (errc != TraceErrc::Ok) {
+            std::fprintf(stderr, "capture failed: %s\n",
+                         traceErrcMessage(errc));
+            return 1;
+        }
+        std::printf("wrote %llu references to %s\n",
+                    static_cast<unsigned long long>(written),
                     path.c_str());
+
+        // Round-trip the same stream through the legacy v1 format to
+        // show the conversion path (ltc-trace convert does the same,
+        // and also imports ChampSim instruction traces).
+        const std::string v1_path = "custom_demo_trace_v1.bin";
+        writeTraceFileV1(v1_path, readTraceFile(path));
+        errc = convertTraceFile(v1_path, "custom_demo_trace_conv.ltct");
+        if (errc != TraceErrc::Ok) {
+            std::fprintf(stderr, "conversion failed: %s\n",
+                         traceErrcMessage(errc));
+            return 1;
+        }
+        TraceFileInfo info;
+        if (probeTraceFile(path, info) == TraceErrc::Ok) {
+            std::printf("v2 container: %llu bytes in %llu chunks "
+                        "(%.1fx smaller than v1)\n",
+                        static_cast<unsigned long long>(info.fileBytes),
+                        static_cast<unsigned long long>(info.chunks),
+                        info.compressionVsV1());
+        }
     }
 
     FileTrace trace(path);

@@ -109,6 +109,12 @@ listEverything()
         std::printf("  %-9s %-8s %s\n", info.name.c_str(),
                     suiteName(info.suite), info.description.c_str());
     }
+    // File-backed workloads discovered via LTC_TRACE_DIR, if any.
+    for (const auto &w : fileWorkloads()) {
+        std::printf("  %-9s %-8s %s\n", w.info.name.c_str(),
+                    suiteName(w.info.suite),
+                    w.info.description.c_str());
+    }
     std::printf("\npredictors:\n");
     for (const auto &name : predictorNames())
         std::printf("  %s\n", name.c_str());

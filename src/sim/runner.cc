@@ -11,6 +11,7 @@
 #include <mutex>
 #include <thread>
 
+#include "trace/workloads.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
 
@@ -692,10 +693,18 @@ ResultSink::ResultSink(std::string bench, int argc,
             if (*v == '\0')
                 ltc_fatal("--csv requires a non-empty path");
             csvPath_ = v;
+        } else if (const char *v = takeValue(i, arg, "--trace-dir")) {
+            if (*v == '\0')
+                ltc_fatal("--trace-dir requires a non-empty path");
+            // Equivalent to LTC_TRACE_DIR: the workload registry
+            // (trace/workloads.hh) discovers *.ltct containers there
+            // and benches sweep them like built-ins.
+            setTraceDir(v);
         } else {
             ltc_fatal("unknown argument '", arg, "'; usage: ", bench_,
-                      " [--json <path>] [--csv <path>] (or LTC_JSON/",
-                      "LTC_CSV env vars; \"-\" = stdout)");
+                      " [--json <path>] [--csv <path>]",
+                      " [--trace-dir <dir>] (or LTC_JSON/LTC_CSV/",
+                      "LTC_TRACE_DIR env vars; \"-\" = stdout)");
         }
     }
 }

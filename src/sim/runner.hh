@@ -259,8 +259,12 @@ class ResultSink
     /**
      * @param bench Bench name recorded in the JSON document.
      * @param argc/@p argv Optional CLI arguments; recognises
-     *        `--json <path>`/`--json=<path>` and `--csv` likewise.
-     *        Unknown arguments are a fatal usage error.
+     *        `--json <path>`/`--json=<path>` and `--csv` likewise,
+     *        plus `--trace-dir <dir>` which sets the registry's
+     *        trace-discovery directory (setTraceDir() in
+     *        trace/workloads.hh, the flag equivalent of
+     *        LTC_TRACE_DIR) so benches sweep file-backed .ltct
+     *        workloads. Unknown arguments are a fatal usage error.
      */
     ResultSink(std::string bench, int argc = 0,
                char *const *argv = nullptr);

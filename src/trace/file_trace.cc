@@ -1,6 +1,6 @@
 #include "trace/file_trace.hh"
 
-#include <array>
+#include <algorithm>
 #include <cstring>
 #include <memory>
 
@@ -13,10 +13,9 @@ namespace
 {
 
 constexpr char magic[8] = {'L', 'T', 'C', 'T', 'R', 'A', 'C', 'E'};
-constexpr std::uint32_t version = 1;
 
-/** On-disk record: 8B pc, 8B addr, 1B op, 1B flags, 4B gap (packed). */
-constexpr std::size_t recordBytes = 8 + 8 + 1 + 1 + 4;
+/** v1 on-disk record: 8B pc, 8B addr, 1B op, 1B flags, 4B gap. */
+constexpr std::size_t v1RecordBytes = 8 + 8 + 1 + 1 + 4;
 
 void
 putU32(unsigned char *p, std::uint32_t v)
@@ -30,24 +29,6 @@ putU64(unsigned char *p, std::uint64_t v)
 {
     for (int i = 0; i < 8; i++)
         p[i] = static_cast<unsigned char>(v >> (8 * i));
-}
-
-std::uint32_t
-getU32(const unsigned char *p)
-{
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; i++)
-        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-    return v;
-}
-
-std::uint64_t
-getU64(const unsigned char *p)
-{
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; i++)
-        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-    return v;
 }
 
 struct FileCloser
@@ -67,78 +48,97 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 void
 writeTraceFile(const std::string &path, const std::vector<MemRef> &refs)
 {
+    StreamingTraceWriter writer(path);
+    for (const MemRef &ref : refs)
+        writer.append(ref);
+    const TraceErrc errc = writer.finish();
+    if (errc != TraceErrc::Ok) {
+        ltc_fatal("cannot write trace file ", path, ": ",
+                  traceErrcMessage(errc));
+    }
+}
+
+void
+writeTraceFileV1(const std::string &path,
+                 const std::vector<MemRef> &refs)
+{
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
         ltc_fatal("cannot open trace file for writing: ", path);
 
     unsigned char header[16];
     std::memcpy(header, magic, 8);
-    putU32(header + 8, version);
+    putU32(header + 8, 1);
     putU32(header + 12, static_cast<std::uint32_t>(refs.size()));
     if (std::fwrite(header, 1, sizeof(header), f.get()) != sizeof(header))
         ltc_fatal("short write on trace header: ", path);
 
-    std::vector<unsigned char> buf(recordBytes);
+    std::vector<unsigned char> buf(v1RecordBytes);
     for (const MemRef &ref : refs) {
         putU64(buf.data(), ref.pc);
         putU64(buf.data() + 8, ref.addr);
         buf[16] = ref.op == MemOp::Store ? 1 : 0;
         buf[17] = ref.dependsOnPrev ? 1 : 0;
         putU32(buf.data() + 18, ref.nonMemGap);
-        if (std::fwrite(buf.data(), 1, recordBytes, f.get()) !=
-            recordBytes) {
+        if (std::fwrite(buf.data(), 1, v1RecordBytes, f.get()) !=
+            v1RecordBytes) {
             ltc_fatal("short write on trace record: ", path);
         }
     }
 }
 
 std::vector<MemRef>
-readTraceFile(const std::string &path)
+readTraceFile(const std::string &path, TraceErrc *err)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        ltc_fatal("cannot open trace file: ", path);
-
-    unsigned char header[16];
-    if (std::fread(header, 1, sizeof(header), f.get()) != sizeof(header))
-        ltc_fatal("truncated trace header: ", path);
-    if (std::memcmp(header, magic, 8) != 0)
-        ltc_fatal("bad trace magic in ", path);
-    if (getU32(header + 8) != version)
-        ltc_fatal("unsupported trace version in ", path);
-
-    const std::uint32_t count = getU32(header + 12);
+    StreamingTraceReader reader(path);
     std::vector<MemRef> refs;
-    refs.reserve(count);
-    std::vector<unsigned char> buf(recordBytes);
-    for (std::uint32_t i = 0; i < count; i++) {
-        if (std::fread(buf.data(), 1, recordBytes, f.get()) !=
-            recordBytes) {
-            ltc_fatal("truncated trace record ", i, " in ", path);
-        }
+    if (reader.ok()) {
+        // Cap the pre-allocation: the header count is validated
+        // against the file size for v2, but a lying v1 count must
+        // not drive a huge up-front reserve either.
+        refs.reserve(std::min<std::uint64_t>(reader.records(),
+                                             1u << 20));
         MemRef ref;
-        ref.pc = getU64(buf.data());
-        ref.addr = getU64(buf.data() + 8);
-        ref.op = buf[16] ? MemOp::Store : MemOp::Load;
-        ref.dependsOnPrev = buf[17] != 0;
-        ref.nonMemGap = getU32(buf.data() + 18);
-        refs.push_back(ref);
+        while (reader.next(ref))
+            refs.push_back(ref);
+    }
+    if (err) {
+        *err = reader.error();
+        return refs;
+    }
+    if (!reader.ok()) {
+        ltc_fatal("trace file ", path, ": ",
+                  traceErrcMessage(reader.error()), " (",
+                  traceErrcName(reader.error()), ")");
     }
     return refs;
 }
 
-FileTrace::FileTrace(const std::string &path)
-    : refs_(readTraceFile(path)), name_("file:" + path)
+FileTrace::FileTrace(const std::string &path, std::string name)
+    : reader_(std::make_unique<StreamingTraceReader>(path)),
+      name_(name.empty() ? "file:" + path : std::move(name))
 {
+    if (!reader_->ok()) {
+        ltc_fatal("trace file ", path, ": ",
+                  traceErrcMessage(reader_->error()), " (",
+                  traceErrcName(reader_->error()), ")");
+    }
 }
 
 bool
 FileTrace::next(MemRef &out)
 {
-    if (pos_ >= refs_.size())
-        return false;
-    out = refs_[pos_++];
-    return true;
+    if (reader_->next(out))
+        return true;
+    // The header parsed (the constructor checked), so a mid-stream
+    // failure is data corruption: engines cannot recover from a
+    // stream that silently ends early, so fail loudly.
+    if (!reader_->ok()) {
+        ltc_fatal("trace file ", name_, ": ",
+                  traceErrcMessage(reader_->error()), " (",
+                  traceErrcName(reader_->error()), ")");
+    }
+    return false;
 }
 
 } // namespace ltc

@@ -1,0 +1,691 @@
+#include "trace/trace_io.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "trace/trace.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+#include "util/varint.hh"
+
+namespace ltc
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'L', 'T', 'C', 'T', 'R', 'A', 'C', 'E'};
+
+// v1: 16-byte header (magic, u32 version, u32 count) then packed
+// 22-byte records. v2: 32-byte header (magic, u32 version, u32 chunk
+// capacity, u64 count, u64 reserved) then chunks, each a 16-byte
+// header (u32 records, u32 payload bytes, u32 fnv1a checksum, u32
+// reserved) followed by the delta/varint payload.
+constexpr std::size_t v1HeaderBytes = 16;
+constexpr std::size_t v1RecordBytes = 8 + 8 + 1 + 1 + 4;
+constexpr std::size_t v2HeaderBytes = 32;
+constexpr std::size_t chunkHeaderBytes = 16;
+constexpr std::uint64_t v2CountOffset = 16;
+
+/** v1 replay buffers this many records at a time. */
+constexpr std::uint32_t v1BufferRecords = 4096;
+
+/** Sanity ceiling on a v2 chunk capacity (16M records). */
+constexpr std::uint32_t maxChunkRecords = 1u << 24;
+
+/**
+ * Worst-case encoded record: control byte + two 10-byte varint
+ * deltas + a 10-byte varint gap. Bounds payload allocations when a
+ * chunk header is corrupt.
+ */
+constexpr std::uint64_t maxRecordBytes = 1 + 10 + 10 + 10;
+
+/** Control byte: bit0 store, bit1 dependsOnPrev, bits 2-7 gap. */
+constexpr unsigned char ctrlStore = 0x01;
+constexpr unsigned char ctrlDepends = 0x02;
+constexpr unsigned ctrlGapShift = 2;
+/** Gap field value meaning "varint gap follows". */
+constexpr std::uint32_t ctrlGapEscape = 63;
+
+void
+putU32(unsigned char *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void
+putU64(unsigned char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; i++)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+int
+closeFile(std::FILE *f)
+{
+    return f ? std::fclose(f) : 0;
+}
+
+/** Encode @p ref against (@p prev_pc, @p prev_addr) onto @p out. */
+void
+encodeRecord(std::vector<unsigned char> &out, const MemRef &ref,
+             Addr &prev_pc, Addr &prev_addr)
+{
+    unsigned char ctrl = 0;
+    if (ref.op == MemOp::Store)
+        ctrl |= ctrlStore;
+    if (ref.dependsOnPrev)
+        ctrl |= ctrlDepends;
+    const bool gap_inline = ref.nonMemGap < ctrlGapEscape;
+    const std::uint32_t gap_field =
+        gap_inline ? ref.nonMemGap : ctrlGapEscape;
+    ctrl |= static_cast<unsigned char>(gap_field << ctrlGapShift);
+    out.push_back(ctrl);
+    putVarint(out, zigzagEncode(
+        static_cast<std::int64_t>(ref.pc - prev_pc)));
+    putVarint(out, zigzagEncode(
+        static_cast<std::int64_t>(ref.addr - prev_addr)));
+    if (!gap_inline)
+        putVarint(out, ref.nonMemGap);
+    prev_pc = ref.pc;
+    prev_addr = ref.addr;
+}
+
+/**
+ * Decode one record from [@p p, @p end).
+ * @return Pointer past the record, or nullptr on malformed input.
+ */
+const unsigned char *
+decodeRecord(const unsigned char *p, const unsigned char *end,
+             MemRef &out, Addr &prev_pc, Addr &prev_addr)
+{
+    if (p == end)
+        return nullptr;
+    const unsigned char ctrl = *p++;
+    std::uint64_t v = 0;
+    if (!(p = getVarint(p, end, v)))
+        return nullptr;
+    prev_pc += static_cast<Addr>(zigzagDecode(v));
+    if (!(p = getVarint(p, end, v)))
+        return nullptr;
+    prev_addr += static_cast<Addr>(zigzagDecode(v));
+    std::uint32_t gap = ctrl >> ctrlGapShift;
+    if (gap == ctrlGapEscape) {
+        if (!(p = getVarint(p, end, v)))
+            return nullptr;
+        if (v > 0xffffffffULL)
+            return nullptr; // nonMemGap is 32-bit
+        gap = static_cast<std::uint32_t>(v);
+    }
+    out.pc = prev_pc;
+    out.addr = prev_addr;
+    out.op = (ctrl & ctrlStore) ? MemOp::Store : MemOp::Load;
+    out.dependsOnPrev = (ctrl & ctrlDepends) != 0;
+    out.nonMemGap = gap;
+    return p;
+}
+
+/** Decode a v1 fixed-width record. */
+MemRef
+decodeV1Record(const unsigned char *p)
+{
+    MemRef ref;
+    ref.pc = getU64(p);
+    ref.addr = getU64(p + 8);
+    ref.op = p[16] ? MemOp::Store : MemOp::Load;
+    ref.dependsOnPrev = p[17] != 0;
+    ref.nonMemGap = getU32(p + 18);
+    return ref;
+}
+
+/**
+ * Parse a container header from @p f (positioned at the start).
+ * On success fills version/records/chunk capacity and leaves the
+ * stream at the first record/chunk.
+ */
+TraceErrc
+readHeader(std::FILE *f, std::uint32_t &version, std::uint64_t &records,
+           std::uint32_t &chunk_records)
+{
+    unsigned char header[v2HeaderBytes];
+    if (std::fread(header, 1, v1HeaderBytes, f) != v1HeaderBytes)
+        return TraceErrc::TruncatedHeader;
+    if (std::memcmp(header, magic, 8) != 0)
+        return TraceErrc::BadMagic;
+    version = getU32(header + 8);
+    if (version == 1) {
+        records = getU32(header + 12);
+        chunk_records = v1BufferRecords;
+        return TraceErrc::Ok;
+    }
+    if (version != 2)
+        return TraceErrc::UnsupportedVersion;
+    if (std::fread(header + v1HeaderBytes, 1,
+                   v2HeaderBytes - v1HeaderBytes,
+                   f) != v2HeaderBytes - v1HeaderBytes) {
+        return TraceErrc::TruncatedHeader;
+    }
+    chunk_records = getU32(header + 12);
+    records = getU64(header + 16);
+    if (chunk_records == 0 || chunk_records > maxChunkRecords)
+        return TraceErrc::BadHeader;
+    return TraceErrc::Ok;
+}
+
+/** Parse a chunk header; validates counts against the file header. */
+TraceErrc
+readChunkHeader(std::FILE *f, std::uint32_t chunk_capacity,
+                std::uint64_t remaining_records,
+                std::uint32_t &chunk_count,
+                std::uint32_t &payload_bytes, std::uint32_t &checksum)
+{
+    unsigned char header[chunkHeaderBytes];
+    const std::size_t got =
+        std::fread(header, 1, chunkHeaderBytes, f);
+    if (got != chunkHeaderBytes)
+        return TraceErrc::TruncatedChunk;
+    chunk_count = getU32(header);
+    payload_bytes = getU32(header + 4);
+    checksum = getU32(header + 8);
+    if (chunk_count == 0 || chunk_count > chunk_capacity)
+        return TraceErrc::BadHeader;
+    if (chunk_count > remaining_records)
+        return TraceErrc::CountMismatch;
+    if (payload_bytes > chunk_count * maxRecordBytes)
+        return TraceErrc::BadHeader;
+    return TraceErrc::Ok;
+}
+
+} // namespace
+
+const char *
+traceErrcName(TraceErrc errc)
+{
+    switch (errc) {
+      case TraceErrc::Ok:
+        return "ok";
+      case TraceErrc::OpenFailed:
+        return "open-failed";
+      case TraceErrc::TruncatedHeader:
+        return "truncated-header";
+      case TraceErrc::BadMagic:
+        return "bad-magic";
+      case TraceErrc::UnsupportedVersion:
+        return "unsupported-version";
+      case TraceErrc::BadHeader:
+        return "bad-header";
+      case TraceErrc::TruncatedChunk:
+        return "truncated-chunk";
+      case TraceErrc::ChecksumMismatch:
+        return "checksum-mismatch";
+      case TraceErrc::MalformedRecord:
+        return "malformed-record";
+      case TraceErrc::CountMismatch:
+        return "count-mismatch";
+      case TraceErrc::WriteFailed:
+        return "write-failed";
+    }
+    return "?";
+}
+
+const char *
+traceErrcMessage(TraceErrc errc)
+{
+    switch (errc) {
+      case TraceErrc::Ok:
+        return "success";
+      case TraceErrc::OpenFailed:
+        return "cannot open trace file";
+      case TraceErrc::TruncatedHeader:
+        return "truncated trace header";
+      case TraceErrc::BadMagic:
+        return "bad trace magic";
+      case TraceErrc::UnsupportedVersion:
+        return "unsupported trace version";
+      case TraceErrc::BadHeader:
+        return "trace header fields out of range";
+      case TraceErrc::TruncatedChunk:
+        return "truncated trace chunk";
+      case TraceErrc::ChecksumMismatch:
+        return "trace chunk checksum mismatch";
+      case TraceErrc::MalformedRecord:
+        return "malformed trace record encoding";
+      case TraceErrc::CountMismatch:
+        return "trace record count mismatch";
+      case TraceErrc::WriteFailed:
+        return "trace write failure";
+    }
+    return "?";
+}
+
+std::uint64_t
+TraceFileInfo::v1EquivalentBytes() const
+{
+    return v1HeaderBytes + records * v1RecordBytes;
+}
+
+double
+TraceFileInfo::compressionVsV1() const
+{
+    return fileBytes ? static_cast<double>(v1EquivalentBytes()) /
+            static_cast<double>(fileBytes)
+                     : 0.0;
+}
+
+// ------------------------------------------------------------ writer
+
+StreamingTraceWriter::StreamingTraceWriter(const std::string &path,
+                                           std::uint32_t chunk_records)
+    : path_(path), chunkRecords_(chunk_records)
+{
+    ltc_assert(chunk_records >= 1 && chunk_records <= maxChunkRecords,
+               "chunk capacity out of range: ", chunk_records);
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_) {
+        err_ = TraceErrc::OpenFailed;
+        return;
+    }
+    unsigned char header[v2HeaderBytes] = {};
+    std::memcpy(header, magic, 8);
+    putU32(header + 8, 2);
+    putU32(header + 12, chunkRecords_);
+    putU64(header + 16, 0); // record count patched by finish()
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header))
+        fail(TraceErrc::WriteFailed);
+    payload_.reserve(chunkRecords_ * 8);
+}
+
+StreamingTraceWriter::~StreamingTraceWriter()
+{
+    finish();
+}
+
+void
+StreamingTraceWriter::fail(TraceErrc errc)
+{
+    if (err_ == TraceErrc::Ok)
+        err_ = errc;
+}
+
+void
+StreamingTraceWriter::append(const MemRef &ref)
+{
+    if (!ok() || finished_)
+        return;
+    encodeRecord(payload_, ref, prevPc_, prevAddr_);
+    chunkCount_++;
+    written_++;
+    if (chunkCount_ >= chunkRecords_)
+        flushChunk();
+}
+
+void
+StreamingTraceWriter::flushChunk()
+{
+    if (!ok() || chunkCount_ == 0)
+        return;
+    unsigned char header[chunkHeaderBytes] = {};
+    putU32(header, chunkCount_);
+    putU32(header + 4, static_cast<std::uint32_t>(payload_.size()));
+    putU32(header + 8, fnv1a32(payload_.data(), payload_.size()));
+    if (std::fwrite(header, 1, sizeof(header), file_) !=
+            sizeof(header) ||
+        std::fwrite(payload_.data(), 1, payload_.size(), file_) !=
+            payload_.size()) {
+        fail(TraceErrc::WriteFailed);
+    }
+    payload_.clear();
+    chunkCount_ = 0;
+    prevPc_ = 0;
+    prevAddr_ = 0; // chunks are independently decodable
+}
+
+TraceErrc
+StreamingTraceWriter::finish()
+{
+    if (finished_)
+        return err_;
+    finished_ = true;
+    if (file_) {
+        flushChunk();
+        if (ok()) {
+            unsigned char count[8];
+            putU64(count, written_);
+            if (std::fseek(file_, v2CountOffset, SEEK_SET) != 0 ||
+                std::fwrite(count, 1, sizeof(count), file_) !=
+                    sizeof(count)) {
+                fail(TraceErrc::WriteFailed);
+            }
+        }
+        if (std::fclose(file_) != 0)
+            fail(TraceErrc::WriteFailed);
+        file_ = nullptr;
+    }
+    return err_;
+}
+
+// ------------------------------------------------------------ reader
+
+StreamingTraceReader::StreamingTraceReader(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "rb"), closeFile)
+{
+    if (!file_) {
+        err_ = TraceErrc::OpenFailed;
+        return;
+    }
+    err_ = readHeader(file_.get(), version_, records_, chunkRecords_);
+    if (err_ != TraceErrc::Ok)
+        return;
+    dataStart_ = std::ftell(file_.get());
+
+    // A corrupt v2 record count must not drive huge allocations or
+    // endless chunk loops: no encoding packs a record into fewer
+    // than 3 payload bytes, so the file size bounds the plausible
+    // count. (v1 counts are detected lazily as TruncatedChunk so a
+    // truncated body keeps its historical error.)
+    if (version_ == 2 &&
+        std::fseek(file_.get(), 0, SEEK_END) == 0) {
+        const long size = std::ftell(file_.get());
+        if (size >= 0 &&
+            records_ > static_cast<std::uint64_t>(size) / 3 + 1) {
+            err_ = TraceErrc::BadHeader;
+            return;
+        }
+        if (std::fseek(file_.get(), dataStart_, SEEK_SET) != 0)
+            err_ = TraceErrc::TruncatedHeader;
+    }
+}
+
+bool
+StreamingTraceReader::fail(TraceErrc errc)
+{
+    if (err_ == TraceErrc::Ok)
+        err_ = errc;
+    return false;
+}
+
+bool
+StreamingTraceReader::next(MemRef &out)
+{
+    if (bufPos_ >= buffer_.size() && !loadNextChunk())
+        return false;
+    out = buffer_[bufPos_++];
+    return true;
+}
+
+bool
+StreamingTraceReader::loadNextChunk()
+{
+    if (!ok() || !file_)
+        return false;
+    if (consumed_ >= records_)
+        return false; // clean end of trace
+    buffer_.clear();
+    bufPos_ = 0;
+
+    if (version_ == 1) {
+        const std::uint64_t want = std::min<std::uint64_t>(
+            records_ - consumed_, v1BufferRecords);
+        std::vector<unsigned char> raw(want * v1RecordBytes);
+        if (std::fread(raw.data(), 1, raw.size(), file_.get()) !=
+            raw.size()) {
+            return fail(TraceErrc::TruncatedChunk);
+        }
+        buffer_.reserve(want);
+        for (std::uint64_t i = 0; i < want; i++)
+            buffer_.push_back(
+                decodeV1Record(raw.data() + i * v1RecordBytes));
+    } else {
+        std::uint32_t count = 0, payload_bytes = 0, checksum = 0;
+        TraceErrc errc = readChunkHeader(
+            file_.get(), chunkRecords_, records_ - consumed_, count,
+            payload_bytes, checksum);
+        if (errc != TraceErrc::Ok)
+            return fail(errc);
+        std::vector<unsigned char> payload(payload_bytes);
+        if (std::fread(payload.data(), 1, payload.size(),
+                       file_.get()) != payload.size()) {
+            return fail(TraceErrc::TruncatedChunk);
+        }
+        if (fnv1a32(payload.data(), payload.size()) != checksum)
+            return fail(TraceErrc::ChecksumMismatch);
+        buffer_.reserve(count);
+        const unsigned char *p = payload.data();
+        const unsigned char *end = p + payload.size();
+        Addr prev_pc = 0, prev_addr = 0;
+        for (std::uint32_t i = 0; i < count; i++) {
+            MemRef ref;
+            if (!(p = decodeRecord(p, end, ref, prev_pc, prev_addr)))
+                return fail(TraceErrc::MalformedRecord);
+            buffer_.push_back(ref);
+        }
+        if (p != end)
+            return fail(TraceErrc::MalformedRecord); // trailing bytes
+    }
+
+    consumed_ += buffer_.size();
+    chunksRead_++;
+    maxBuffered_ = std::max(maxBuffered_, buffer_.size());
+    return !buffer_.empty();
+}
+
+void
+StreamingTraceReader::reset()
+{
+    if (!file_ || version_ == 0)
+        return;
+    // A sticky mid-stream error (corrupt chunk) stays sticky; only
+    // a cleanly readable file can be replayed.
+    if (err_ != TraceErrc::Ok)
+        return;
+    if (std::fseek(file_.get(), dataStart_, SEEK_SET) != 0) {
+        fail(TraceErrc::TruncatedChunk);
+        return;
+    }
+    buffer_.clear();
+    bufPos_ = 0;
+    consumed_ = 0;
+}
+
+// ------------------------------------------------------------- probe
+
+TraceErrc
+probeTraceHeader(const std::string &path, TraceFileInfo &info)
+{
+    info = TraceFileInfo{};
+    // The reader constructor parses and sanity-checks the header
+    // (including the count-vs-file-size bound) without touching any
+    // payload - exactly the O(1) probe discovery needs.
+    StreamingTraceReader reader(path);
+    if (!reader.ok())
+        return reader.error();
+    info.version = reader.version();
+    info.records = reader.records();
+    info.chunkRecords = reader.version() >= 2 ? reader.chunkCapacity()
+                                              : 0;
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
+        std::fopen(path.c_str(), "rb"), closeFile);
+    if (f && std::fseek(f.get(), 0, SEEK_END) == 0) {
+        const long size = std::ftell(f.get());
+        if (size >= 0)
+            info.fileBytes = static_cast<std::uint64_t>(size);
+    }
+    return TraceErrc::Ok;
+}
+
+TraceErrc
+probeTraceFile(const std::string &path, TraceFileInfo &info)
+{
+    info = TraceFileInfo{};
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
+        std::fopen(path.c_str(), "rb"), closeFile);
+    if (!f)
+        return TraceErrc::OpenFailed;
+
+    TraceErrc errc = readHeader(f.get(), info.version, info.records,
+                                info.chunkRecords);
+    if (errc != TraceErrc::Ok)
+        return errc;
+
+    if (info.version == 1) {
+        info.chunkRecords = 0;
+        if (std::fseek(f.get(), 0, SEEK_END) != 0)
+            return TraceErrc::TruncatedChunk;
+        info.fileBytes =
+            static_cast<std::uint64_t>(std::ftell(f.get()));
+        if (info.fileBytes <
+            v1HeaderBytes + info.records * v1RecordBytes) {
+            return TraceErrc::TruncatedChunk;
+        }
+        return TraceErrc::Ok;
+    }
+
+    std::uint64_t remaining = info.records;
+    std::vector<unsigned char> payload;
+    while (remaining > 0) {
+        std::uint32_t count = 0, payload_bytes = 0, checksum = 0;
+        errc = readChunkHeader(f.get(), info.chunkRecords, remaining,
+                               count, payload_bytes, checksum);
+        if (errc != TraceErrc::Ok)
+            return errc;
+        payload.resize(payload_bytes);
+        if (std::fread(payload.data(), 1, payload.size(), f.get()) !=
+            payload.size()) {
+            return TraceErrc::TruncatedChunk;
+        }
+        if (fnv1a32(payload.data(), payload.size()) != checksum)
+            return TraceErrc::ChecksumMismatch;
+        remaining -= count;
+        info.chunks++;
+        info.payloadBytes += payload_bytes;
+    }
+    info.fileBytes = v2HeaderBytes +
+        info.chunks * chunkHeaderBytes + info.payloadBytes;
+    return TraceErrc::Ok;
+}
+
+// ---------------------------------------------------- capture/convert
+
+TraceErrc
+captureToFile(TraceSource &source, const std::string &path,
+              std::uint64_t refs, std::uint64_t *out_written,
+              std::uint32_t chunk_records)
+{
+    StreamingTraceWriter writer(path, chunk_records);
+    source.reset();
+    MemRef ref;
+    for (std::uint64_t i = 0; i < refs && writer.ok(); i++) {
+        if (!source.next(ref))
+            break;
+        writer.append(ref);
+    }
+    if (out_written)
+        *out_written = writer.written();
+    return writer.finish();
+}
+
+TraceErrc
+convertTraceFile(const std::string &in_path,
+                 const std::string &out_path, std::uint64_t limit,
+                 std::uint32_t chunk_records)
+{
+    StreamingTraceReader reader(in_path);
+    if (!reader.ok())
+        return reader.error();
+    StreamingTraceWriter writer(out_path, chunk_records);
+    MemRef ref;
+    while ((limit == 0 || writer.written() < limit) && writer.ok() &&
+           reader.next(ref)) {
+        writer.append(ref);
+    }
+    if (!reader.ok())
+        return reader.error();
+    return writer.finish();
+}
+
+// --------------------------------------------------- ChampSim import
+
+namespace
+{
+
+/** ChampSim's input_instr: 16 bytes of header + 6 memory slots. */
+constexpr std::size_t champsimRecordBytes = 64;
+constexpr std::size_t champsimSrcSlots = 4;
+constexpr std::size_t champsimDstSlots = 2;
+
+} // namespace
+
+TraceErrc
+importChampSimFile(const std::string &in_path,
+                   const std::string &out_path, std::uint64_t limit,
+                   std::uint64_t *out_written,
+                   std::uint32_t chunk_records)
+{
+    if (out_written)
+        *out_written = 0;
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> in(
+        std::fopen(in_path.c_str(), "rb"), closeFile);
+    if (!in)
+        return TraceErrc::OpenFailed;
+
+    StreamingTraceWriter writer(out_path, chunk_records);
+    unsigned char rec[champsimRecordBytes];
+    std::uint32_t gap = 0;
+    while (writer.ok() && (limit == 0 || writer.written() < limit)) {
+        const std::size_t got =
+            std::fread(rec, 1, sizeof(rec), in.get());
+        if (got == 0)
+            break;
+        if (got != sizeof(rec))
+            return TraceErrc::MalformedRecord; // trailing partial record
+        const std::uint64_t ip = getU64(rec);
+        // destination_memory at offset 16, source_memory at 32.
+        bool first = true;
+        auto emit = [&](std::uint64_t addr, MemOp op) {
+            if (addr == 0 || !writer.ok())
+                return;
+            if (limit != 0 && writer.written() >= limit)
+                return;
+            MemRef ref;
+            ref.pc = ip;
+            ref.addr = addr;
+            ref.op = op;
+            ref.nonMemGap = first ? gap : 0;
+            writer.append(ref);
+            if (first) {
+                gap = 0;
+                first = false;
+            }
+        };
+        for (std::size_t i = 0; i < champsimSrcSlots; i++)
+            emit(getU64(rec + 32 + 8 * i), MemOp::Load);
+        for (std::size_t i = 0; i < champsimDstSlots; i++)
+            emit(getU64(rec + 16 + 8 * i), MemOp::Store);
+        if (first)
+            gap++; // no memory operands: instruction feeds the gap
+    }
+    if (out_written)
+        *out_written = writer.written();
+    return writer.finish();
+}
+
+} // namespace ltc

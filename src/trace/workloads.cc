@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
+#include "trace/file_trace.hh"
 #include "trace/primitives.hh"
+#include "trace/trace_io.hh"
 #include "util/logging.hh"
 
 namespace ltc
@@ -723,7 +728,120 @@ findRecipe(const std::string &name)
     return nullptr;
 }
 
+/** Registry prefix for file-backed workloads. */
+constexpr const char traceNamePrefix[] = "trace:";
+
+/** Guards the discovery cache and the setTraceDir() override. */
+std::mutex &
+traceDirMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::string &
+traceDirOverride()
+{
+    static std::string dir;
+    return dir;
+}
+
+/**
+ * Scan @p dir for .ltct containers. Workers of a runner sweep may
+ * race into the first lookup, so the per-directory cache is guarded;
+ * after the first scan every call is a cheap map hit. Only the
+ * container header is read per file, so discovery stays O(1) I/O
+ * however long the captured traces are.
+ */
+const std::vector<TraceWorkload> &
+scanTraceDir(const std::string &dir)
+{
+    static std::map<std::string, std::vector<TraceWorkload>> cache;
+
+    std::lock_guard<std::mutex> lock(traceDirMutex());
+    auto it = cache.find(dir);
+    if (it != cache.end())
+        return it->second;
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator entries(dir, ec);
+    if (ec)
+        ltc_fatal("LTC_TRACE_DIR: cannot open directory '", dir,
+                  "': ", ec.message());
+
+    std::vector<TraceWorkload> found;
+    for (const auto &entry : entries) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".ltct") {
+            continue;
+        }
+        TraceFileInfo info;
+        const TraceErrc errc =
+            probeTraceHeader(entry.path().string(), info);
+        if (errc != TraceErrc::Ok) {
+            ltc_fatal("LTC_TRACE_DIR: bad trace file ",
+                      entry.path().string(), ": ",
+                      traceErrcMessage(errc));
+        }
+        TraceWorkload w;
+        w.info.name = traceNamePrefix + entry.path().stem().string();
+        w.info.suite = Suite::Captured;
+        w.info.description = "captured trace (" +
+            entry.path().filename().string() + ", " +
+            std::to_string(info.records) + " refs, v" +
+            std::to_string(info.version) + ")";
+        w.info.refsPerIteration = std::max<std::uint64_t>(
+            info.records, 1);
+        w.path = entry.path().string();
+        found.push_back(std::move(w));
+    }
+    std::sort(found.begin(), found.end(),
+              [](const TraceWorkload &a, const TraceWorkload &b) {
+                  return a.info.name < b.info.name;
+              });
+    return cache.emplace(dir, std::move(found)).first->second;
+}
+
+/** The TraceWorkload registered as @p name, or nullptr. */
+const TraceWorkload *
+findTraceWorkload(const std::string &name)
+{
+    if (name.rfind(traceNamePrefix, 0) != 0)
+        return nullptr;
+    for (const auto &w : fileWorkloads())
+        if (w.info.name == name)
+            return &w;
+    return nullptr;
+}
+
 } // namespace
+
+void
+setTraceDir(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(traceDirMutex());
+    traceDirOverride() = dir;
+}
+
+const std::vector<TraceWorkload> &
+fileWorkloads()
+{
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> lock(traceDirMutex());
+        dir = traceDirOverride();
+    }
+    if (dir.empty()) {
+        const char *env = std::getenv("LTC_TRACE_DIR");
+        if (!env || !*env) {
+            static const std::vector<TraceWorkload> empty;
+            return empty;
+        }
+        dir = env;
+    }
+    return scanTraceDir(dir);
+}
 
 const char *
 suiteName(Suite suite)
@@ -735,6 +853,8 @@ suiteName(Suite suite)
         return "SPECfp";
       case Suite::Olden:
         return "Olden";
+      case Suite::Captured:
+        return "trace";
     }
     return "?";
 }
@@ -759,6 +879,8 @@ workloadNames()
     std::vector<std::string> names;
     for (const auto &info : workloadCatalog())
         names.push_back(info.name);
+    for (const auto &w : fileWorkloads())
+        names.push_back(w.info.name);
     return names;
 }
 
@@ -768,18 +890,28 @@ workloadInfo(const std::string &name)
     for (const auto &info : workloadCatalog())
         if (info.name == name)
             return info;
+    if (const TraceWorkload *w = findTraceWorkload(name))
+        return w->info;
     ltc_fatal("unknown workload '", name, "'");
 }
 
 bool
 isWorkload(const std::string &name)
 {
-    return findRecipe(name) != nullptr;
+    return findRecipe(name) != nullptr ||
+        findTraceWorkload(name) != nullptr;
 }
 
 std::unique_ptr<TraceSource>
 makeWorkload(const std::string &name, std::uint64_t seed, double scale)
 {
+    if (const TraceWorkload *w = findTraceWorkload(name)) {
+        // A captured trace is immutable: seed and scale are
+        // meaningless for it by design.
+        (void)seed;
+        (void)scale;
+        return std::make_unique<FileTrace>(w->path, w->info.name);
+    }
     const Recipe *recipe = findRecipe(name);
     if (!recipe)
         ltc_fatal("unknown workload '", name, "'");
@@ -818,6 +950,10 @@ std::uint64_t
 suggestedRefs(const std::string &name)
 {
     const WorkloadInfo &info = workloadInfo(name);
+    // A captured trace is finite: replay exactly what was recorded
+    // rather than the synthetic generators' training-window heuristic.
+    if (info.suite == Suite::Captured)
+        return info.refsPerIteration;
     const std::uint64_t want = 6 * info.refsPerIteration;
     return std::clamp<std::uint64_t>(want, 1'500'000, 10'000'000);
 }

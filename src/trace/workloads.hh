@@ -39,6 +39,8 @@ enum class Suite
     SPECint,
     SPECfp,
     Olden,
+    /** File-backed workload discovered via LTC_TRACE_DIR. */
+    Captured,
 };
 
 const char *suiteName(Suite suite);
@@ -57,10 +59,43 @@ struct WorkloadInfo
     std::uint64_t refsPerIteration;
 };
 
-/** All workloads in catalogue order (matches the paper's Table 2). */
+/** All synthetic workloads in catalogue order (the paper's Table 2). */
 const std::vector<WorkloadInfo> &workloadCatalog();
 
-/** Names only, in catalogue order. */
+/**
+ * A file-backed workload discovered in LTC_TRACE_DIR: a .ltct trace
+ * container (trace/trace_io.hh) registered under the name
+ * "trace:<stem>" and swept by benches exactly like a built-in.
+ */
+struct TraceWorkload
+{
+    WorkloadInfo info; //!< name, Suite::Captured, record count
+    std::string path;  //!< the container file
+};
+
+/**
+ * Set the trace-discovery directory programmatically (e.g. from a
+ * bench's --trace-dir flag). Takes precedence over LTC_TRACE_DIR;
+ * an empty string reverts to the environment variable. Call before
+ * workload lookups for the sweep that should see the traces.
+ */
+void setTraceDir(const std::string &dir);
+
+/**
+ * File-backed workloads: every *.ltct file in the trace-discovery
+ * directory - setTraceDir() if set, else the LTC_TRACE_DIR
+ * environment variable (sorted by name; empty when neither is set).
+ * Unreadable files or a missing directory are fatal - a requested
+ * trace directory must be usable. Only container headers are read
+ * at discovery (O(1) per file); full validation happens at replay.
+ * Results are cached per directory; thread-safe.
+ */
+const std::vector<TraceWorkload> &fileWorkloads();
+
+/**
+ * Names of all runnable workloads: the synthetic catalogue followed
+ * by the file-backed workloads from LTC_TRACE_DIR.
+ */
 std::vector<std::string> workloadNames();
 
 /** Catalogue entry for @p name; fatal error if unknown. */
@@ -72,7 +107,11 @@ bool isWorkload(const std::string &name);
 /**
  * Instantiate the generator for workload @p name.
  *
- * @param name   Benchmark name (e.g. "mcf", "swim", "em3d").
+ * File-backed workloads ("trace:<stem>") replay their container
+ * through the streaming reader; @p seed and @p scale are ignored for
+ * them (a captured trace is immutable by definition).
+ *
+ * @param name   Benchmark name (e.g. "mcf", "swim", "trace:foo").
  * @param seed   Seed for any randomised layout/probing decisions.
  * @param scale  Footprint multiplier (1.0 = default scaled-down size).
  */

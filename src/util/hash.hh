@@ -14,10 +14,29 @@
 #ifndef LTC_UTIL_HASH_HH
 #define LTC_UTIL_HASH_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace ltc
 {
+
+/**
+ * FNV-1a 32-bit hash of a byte range; the per-chunk payload checksum
+ * of the .ltct v2 trace container (trace/trace_io.hh). Chosen for
+ * being trivially portable and dependency-free rather than for error
+ * models: it reliably flags the truncation/bit-rot cases the trace
+ * reader defends against.
+ */
+inline std::uint32_t
+fnv1a32(const unsigned char *data, std::size_t len)
+{
+    std::uint32_t h = 2166136261u;
+    for (std::size_t i = 0; i < len; i++) {
+        h ^= data[i];
+        h *= 16777619u;
+    }
+    return h;
+}
 
 /** Finalizer from MurmurHash3; a cheap full-avalanche 64-bit mixer. */
 constexpr std::uint64_t

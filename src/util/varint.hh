@@ -1,0 +1,71 @@
+/**
+ * @file
+ * LEB128 varint and zigzag encoding for the compact trace container.
+ *
+ * The .ltct v2 trace format (trace/trace_io.hh) stores PC and address
+ * deltas between consecutive records. Deltas are signed and usually
+ * tiny (a loop re-executes the same PC; an array walk advances one
+ * block), so zigzag-mapping them to unsigned values and emitting
+ * LEB128 varints shrinks the common record to a few bytes. All
+ * encodings are little-endian and platform-independent.
+ */
+
+#ifndef LTC_UTIL_VARINT_HH
+#define LTC_UTIL_VARINT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ltc
+{
+
+/** Map a signed value to an unsigned one with small |v| staying small. */
+constexpr std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+        static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzagEncode(). */
+constexpr std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (0 - (v & 1)));
+}
+
+/** Append @p v to @p out as a LEB128 varint (1-10 bytes). */
+inline void
+putVarint(std::vector<unsigned char> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<unsigned char>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<unsigned char>(v));
+}
+
+/**
+ * Decode a LEB128 varint from [@p p, @p end).
+ * @return Pointer past the varint, or nullptr if the buffer ends
+ *         mid-varint or the encoding exceeds 10 bytes (malformed).
+ */
+inline const unsigned char *
+getVarint(const unsigned char *p, const unsigned char *end,
+          std::uint64_t &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (p == end)
+            return nullptr;
+        const unsigned char byte = *p++;
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return p;
+    }
+    return nullptr; // > 10 bytes: not produced by putVarint()
+}
+
+} // namespace ltc
+
+#endif // LTC_UTIL_VARINT_HH

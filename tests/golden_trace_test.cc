@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Golden-trace regression suite.
+ *
+ * The .ltct fixtures under tests/data/ are captures of the synthetic
+ * primitives (StridedScanSource, PointerChaseSource,
+ * InterleaveSource, TreeWalkSource) whose end-to-end metrics through
+ * the trace engine (coverage taxonomy) and the timing engine (IPC)
+ * are pinned EXACTLY below: any change to the predictor stack, the
+ * hierarchy, the engines or the trace container that shifts a single
+ * miss fails this suite. The whole simulator is integer + fixed-seed
+ * RNG, so exact equality is portable.
+ *
+ * Maintenance:
+ *  - `LTC_GOLDEN_REGEN=1 ./ltc_tests
+ *     --gtest_filter='GoldenFixtures.Regenerate'` rewrites the
+ *    fixtures from the builders below (they self-verify: the replay
+ *    test proves fixture bytes == builder output).
+ *  - `LTC_GOLDEN_PRINT=1 ./ltc_tests
+ *     --gtest_filter='*Golden*'` prints the expectation tables in
+ *    copy-pasteable form after an intended behaviour change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "sim/timing_engine.hh"
+#include "sim/trace_engine.hh"
+#include "trace/file_trace.hh"
+#include "trace/primitives.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace ltc
+{
+namespace
+{
+
+#ifndef LTC_TEST_DATA_DIR
+#error "LTC_TEST_DATA_DIR must point at tests/data"
+#endif
+
+constexpr std::uint32_t kFixtureChunk = 8192;
+
+std::string
+dataPath(const std::string &file)
+{
+    return std::string(LTC_TEST_DATA_DIR) + "/" + file;
+}
+
+// ------------------------------------------------- fixture builders
+//
+// These are the single source of truth for what the checked-in
+// fixtures contain; Replay below asserts the files match them
+// record-for-record.
+
+std::unique_ptr<TraceSource>
+buildStridedScan()
+{
+    ScanArray a;
+    a.base = 0x1000000;
+    a.blocks = 4096;
+    a.accessesPerBlock = 2;
+    a.pc = 0x1000;
+    return std::make_unique<StridedScanSource>(
+        std::vector<ScanArray>{a}, /*non_mem_gap=*/3, "golden.scan");
+}
+
+std::unique_ptr<TraceSource>
+buildPointerChase()
+{
+    PointerChaseParams p;
+    p.base = 0x2000000;
+    p.nodes = 4096;
+    p.accessesPerNode = 1;
+    p.seed = 42;
+    p.nonMemGap = 4;
+    p.pc = 0x2000;
+    return std::make_unique<PointerChaseSource>(p, "golden.chase");
+}
+
+std::unique_ptr<TraceSource>
+buildInterleave()
+{
+    ScanArray a;
+    a.base = 0x1000000;
+    a.blocks = 2048;
+    a.accessesPerBlock = 2;
+    a.pc = 0x1100;
+    auto scan = std::make_unique<StridedScanSource>(
+        std::vector<ScanArray>{a}, /*non_mem_gap=*/2, "golden.mix.scan");
+
+    PointerChaseParams p;
+    p.base = 0x1800000;
+    p.nodes = 2048;
+    p.accessesPerNode = 1;
+    p.seed = 9;
+    p.nonMemGap = 3;
+    p.pc = 0x2100;
+    auto chase =
+        std::make_unique<PointerChaseSource>(p, "golden.mix.chase");
+
+    std::vector<std::unique_ptr<TraceSource>> kids;
+    kids.push_back(std::move(scan));
+    kids.push_back(std::move(chase));
+    return std::make_unique<InterleaveSource>(
+        std::move(kids), std::vector<std::uint32_t>{6, 1},
+        "golden.mix");
+}
+
+std::unique_ptr<TraceSource>
+buildTreeWalk()
+{
+    TreeWalkParams p;
+    p.base = 0x3000000;
+    p.nodes = 4095;
+    p.accessesPerNode = 2;
+    p.regularLayout = true;
+    p.seed = 5;
+    p.nonMemGap = 2;
+    p.pc = 0x3000;
+    return std::make_unique<TreeWalkSource>(p, "golden.tree");
+}
+
+struct FixtureSpec
+{
+    const char *file;
+    std::uint64_t refs;
+    std::unique_ptr<TraceSource> (*build)();
+};
+
+const FixtureSpec kFixtures[] = {
+    {"strided_scan.ltct", 65536, buildStridedScan},
+    {"pointer_chase.ltct", 32768, buildPointerChase},
+    {"interleave.ltct", 40960, buildInterleave},
+    {"tree_walk.ltct", 32760, buildTreeWalk},
+};
+
+// --------------------------------------------------- golden metrics
+
+/** Trace-engine expectations (exact; see file comment). */
+struct TraceGolden
+{
+    const char *file;
+    std::uint64_t opportunity; //!< baseline L1D misses
+    std::uint64_t l1Misses;    //!< misses with LT-cords attached
+    std::uint64_t correct;     //!< misses eliminated by streaming
+    std::uint64_t early;       //!< premature-eviction extra misses
+    std::uint64_t useless;     //!< prefetched blocks never touched
+};
+
+/** Timing-engine expectations (exact). */
+struct TimingGolden
+{
+    const char *file;
+    std::uint64_t cycles;
+    std::uint64_t instructions;
+    std::uint64_t l1Misses;
+    std::uint64_t correct; //!< demand hits on prefetched blocks
+};
+
+// Values pinned from the initial capture (see file comment for the
+// regeneration workflow).
+const TraceGolden kTraceGolden[] = {
+    {"strided_scan.ltct", 32768, 8233, 24535, 1058, 0},
+    {"pointer_chase.ltct", 32768, 7727, 25041, 216, 0},
+    {"interleave.ltct", 23406, 13695, 9711, 1175, 171},
+    {"tree_walk.ltct", 16380, 7203, 9177, 17, 0},
+};
+
+const TimingGolden kTimingGolden[] = {
+    {"strided_scan.ltct", 123799, 262144, 24002, 8766},
+    {"pointer_chase.ltct", 1247944, 163840, 12532, 20236},
+    {"interleave.ltct", 99291, 128731, 19548, 3858},
+    {"tree_walk.ltct", 74675, 98280, 13075, 3305},
+};
+
+bool
+printMode()
+{
+    return std::getenv("LTC_GOLDEN_PRINT") != nullptr;
+}
+
+CoverageStats
+runTraceEngine(const std::string &file)
+{
+    FileTrace trace(dataPath(file));
+    auto pred = makePredictor("lt-cords", paperHierarchy());
+    return runWithOpportunity(paperHierarchy(), pred.get(), trace,
+                              trace.size());
+}
+
+TimingStats
+runTimingEngine(const std::string &file)
+{
+    FileTrace trace(dataPath(file));
+    auto pred = makePredictor("lt-cords", paperHierarchy(),
+                              /*model_stream_latency=*/true);
+    TimingSim sim(paperTiming(), pred.get());
+    sim.run(trace, trace.size());
+    return sim.stats();
+}
+
+/** Scoped environment override for LTC_TRACE_DIR. */
+class TraceDirGuard
+{
+  public:
+    explicit TraceDirGuard(const std::string &dir)
+    {
+        setenv("LTC_TRACE_DIR", dir.c_str(), 1);
+    }
+    ~TraceDirGuard() { unsetenv("LTC_TRACE_DIR"); }
+};
+
+// ------------------------------------------------------------ tests
+
+TEST(GoldenFixtures, Regenerate)
+{
+    if (!std::getenv("LTC_GOLDEN_REGEN"))
+        GTEST_SKIP() << "set LTC_GOLDEN_REGEN=1 to rewrite fixtures";
+    for (const FixtureSpec &spec : kFixtures) {
+        auto src = spec.build();
+        std::uint64_t written = 0;
+        ASSERT_EQ(captureToFile(*src, dataPath(spec.file), spec.refs,
+                                &written, kFixtureChunk),
+                  TraceErrc::Ok);
+        ASSERT_EQ(written, spec.refs) << spec.file;
+    }
+}
+
+TEST(GoldenFixtures, ReplayMatchesBuilders)
+{
+    for (const FixtureSpec &spec : kFixtures) {
+        SCOPED_TRACE(spec.file);
+        FileTrace trace(dataPath(spec.file));
+        ASSERT_EQ(trace.size(), spec.refs);
+        auto src = spec.build();
+        MemRef want, got;
+        for (std::uint64_t i = 0; i < spec.refs; i++) {
+            ASSERT_TRUE(src->next(want)) << "record " << i;
+            ASSERT_TRUE(trace.next(got)) << "record " << i;
+            ASSERT_TRUE(got == want) << "record " << i;
+        }
+        EXPECT_FALSE(trace.next(got)); // fixture holds nothing more
+    }
+}
+
+TEST(GoldenFixtures, CompressionBeatsV1ByAtLeast4x)
+{
+    for (const FixtureSpec &spec : kFixtures) {
+        SCOPED_TRACE(spec.file);
+        TraceFileInfo info;
+        ASSERT_EQ(probeTraceFile(dataPath(spec.file), info),
+                  TraceErrc::Ok);
+        EXPECT_EQ(info.version, 2u);
+        EXPECT_EQ(info.records, spec.refs);
+        EXPECT_GE(info.compressionVsV1(), 4.0)
+            << "v2 must stay >=4x smaller than the v1 encoding ("
+            << info.fileBytes << " vs " << info.v1EquivalentBytes()
+            << " bytes)";
+    }
+}
+
+TEST(GoldenTraceEngine, MetricsMatchExactly)
+{
+    for (const TraceGolden &g : kTraceGolden) {
+        SCOPED_TRACE(g.file);
+        const CoverageStats s = runTraceEngine(g.file);
+        if (printMode()) {
+            std::printf("    {\"%s\", %llu, %llu, %llu, %llu, %llu},\n",
+                        g.file,
+                        static_cast<unsigned long long>(s.opportunity),
+                        static_cast<unsigned long long>(s.l1Misses),
+                        static_cast<unsigned long long>(s.correct),
+                        static_cast<unsigned long long>(s.early),
+                        static_cast<unsigned long long>(
+                            s.uselessPrefetches));
+            continue;
+        }
+        EXPECT_EQ(s.opportunity, g.opportunity);
+        EXPECT_EQ(s.l1Misses, g.l1Misses);
+        EXPECT_EQ(s.correct, g.correct);
+        EXPECT_EQ(s.early, g.early);
+        EXPECT_EQ(s.uselessPrefetches, g.useless);
+    }
+}
+
+TEST(GoldenTimingEngine, MetricsMatchExactly)
+{
+    for (const TimingGolden &g : kTimingGolden) {
+        SCOPED_TRACE(g.file);
+        const TimingStats s = runTimingEngine(g.file);
+        if (printMode()) {
+            std::printf("    {\"%s\", %llu, %llu, %llu, %llu},\n",
+                        g.file,
+                        static_cast<unsigned long long>(s.cycles),
+                        static_cast<unsigned long long>(
+                            s.instructions),
+                        static_cast<unsigned long long>(s.l1Misses),
+                        static_cast<unsigned long long>(s.correct));
+            continue;
+        }
+        EXPECT_EQ(s.cycles, g.cycles);
+        EXPECT_EQ(s.instructions, g.instructions);
+        EXPECT_EQ(s.l1Misses, g.l1Misses);
+        EXPECT_EQ(s.correct, g.correct);
+    }
+}
+
+TEST(GoldenRunnerSweep, SetTraceDirOverridesEnvironment)
+{
+    // The programmatic hook behind a bench's --trace-dir flag.
+    ASSERT_FALSE(isWorkload("trace:strided_scan"));
+    setTraceDir(LTC_TEST_DATA_DIR);
+    EXPECT_TRUE(isWorkload("trace:strided_scan"));
+    setTraceDir("");
+    EXPECT_FALSE(isWorkload("trace:strided_scan"));
+}
+
+/**
+ * The acceptance path: fixtures discovered via LTC_TRACE_DIR appear
+ * as registry workloads, sweep through the ExperimentRunner, and the
+ * export is byte-identical at 1 and 8 worker threads - with metrics
+ * agreeing exactly with the direct golden runs above.
+ */
+TEST(GoldenRunnerSweep, FileWorkloadsAreByteIdenticalAcrossJobs)
+{
+    TraceDirGuard guard(LTC_TEST_DATA_DIR);
+
+    std::vector<std::string> trace_names;
+    for (const std::string &name : workloadNames())
+        if (name.rfind("trace:", 0) == 0)
+            trace_names.push_back(name);
+    ASSERT_EQ(trace_names.size(), std::size(kFixtures));
+    ASSERT_TRUE(isWorkload("trace:strided_scan"));
+
+    const auto cells = ExperimentRunner::cells(trace_names);
+    auto sweep = [&](unsigned jobs) {
+        return ExperimentRunner(jobs).run(
+            cells, [](const RunCell &cell, RunResult &r) {
+                auto src = makeWorkload(cell.workload);
+                auto pred =
+                    makePredictor("lt-cords", paperHierarchy());
+                auto s = runWithOpportunity(
+                    paperHierarchy(), pred.get(), *src,
+                    suggestedRefs(cell.workload));
+                r.set("opportunity",
+                      static_cast<double>(s.opportunity));
+                r.set("l1_misses", static_cast<double>(s.l1Misses));
+                r.set("correct", static_cast<double>(s.correct));
+                r.set("coverage", s.coverage());
+            });
+    };
+
+    const auto serial = sweep(1);
+    const auto parallel = sweep(8);
+    EXPECT_EQ(resultsToJson(serial), resultsToJson(parallel));
+
+    // The sweep's numbers are the same goldens as the direct runs.
+    if (!printMode()) {
+        for (std::size_t i = 0; i < serial.size(); i++) {
+            SCOPED_TRACE(serial[i].cell.workload);
+            const std::string stem =
+                serial[i].cell.workload.substr(6) + ".ltct";
+            for (const TraceGolden &g : kTraceGolden) {
+                if (stem != g.file)
+                    continue;
+                EXPECT_EQ(serial[i].get("opportunity"),
+                          static_cast<double>(g.opportunity));
+                EXPECT_EQ(serial[i].get("correct"),
+                          static_cast<double>(g.correct));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ltc

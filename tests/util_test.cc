@@ -1,10 +1,12 @@
 /**
  * @file
- * Unit tests for util: bit operations, hashing, PRNG, logging.
+ * Unit tests for util: bit operations, hashing, varints, PRNG,
+ * logging.
  */
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "util/bitops.hh"
@@ -12,6 +14,7 @@
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/types.hh"
+#include "util/varint.hh"
 
 namespace ltc
 {
@@ -281,6 +284,75 @@ TEST(LoggingDeathTest, FatalExits)
 {
     EXPECT_EXIT(ltc_fatal("bad config"),
                 ::testing::ExitedWithCode(1), "bad config");
+}
+
+// ------------------------------------------------------------ varint
+
+TEST(ZigzagTest, RoundTripsBoundaryValues)
+{
+    const std::int64_t values[] = {
+        0,  1,  -1, 2,  -2,  63, -63, 64, -64,
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()};
+    for (std::int64_t v : values)
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v) << v;
+    // Small magnitudes of either sign map to small codes.
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+}
+
+TEST(VarintTest, RoundTripsAndSizes)
+{
+    const std::uint64_t values[] = {
+        0, 1, 0x7f, 0x80, 0x3fff, 0x4000, 0xffffffffull,
+        std::numeric_limits<std::uint64_t>::max()};
+    for (std::uint64_t v : values) {
+        std::vector<unsigned char> buf;
+        putVarint(buf, v);
+        EXPECT_LE(buf.size(), 10u);
+        std::uint64_t back = 0;
+        const unsigned char *p =
+            getVarint(buf.data(), buf.data() + buf.size(), back);
+        ASSERT_EQ(p, buf.data() + buf.size()) << v;
+        EXPECT_EQ(back, v);
+    }
+    std::vector<unsigned char> one;
+    putVarint(one, 0x7f);
+    EXPECT_EQ(one.size(), 1u); // 7-bit values stay single-byte
+}
+
+TEST(VarintTest, RejectsTruncatedAndOverlongInput)
+{
+    std::vector<unsigned char> buf;
+    putVarint(buf, 1u << 20);
+    std::uint64_t v = 0;
+    // Every strict prefix ends mid-varint.
+    for (std::size_t n = 0; n < buf.size(); n++)
+        EXPECT_EQ(getVarint(buf.data(), buf.data() + n, v), nullptr);
+    // Eleven continuation bytes exceed any 64-bit encoding.
+    const std::vector<unsigned char> overlong(11, 0xff);
+    EXPECT_EQ(getVarint(overlong.data(),
+                        overlong.data() + overlong.size(), v),
+              nullptr);
+}
+
+TEST(Fnv1a32Test, MatchesReferenceVectorsAndDetectsFlips)
+{
+    // Published FNV-1a test vectors.
+    const unsigned char a[] = {'a'};
+    EXPECT_EQ(fnv1a32(a, 1), 0xe40c292cu);
+    const unsigned char foobar[] = {'f', 'o', 'o', 'b', 'a', 'r'};
+    EXPECT_EQ(fnv1a32(foobar, 6), 0xbf9cf968u);
+    EXPECT_EQ(fnv1a32(nullptr, 0), 2166136261u);
+
+    unsigned char data[64];
+    for (std::size_t i = 0; i < sizeof(data); i++)
+        data[i] = static_cast<unsigned char>(i * 7);
+    const std::uint32_t h = fnv1a32(data, sizeof(data));
+    data[13] ^= 0x01;
+    EXPECT_NE(fnv1a32(data, sizeof(data)), h);
 }
 
 } // namespace
