@@ -45,12 +45,14 @@ CorrelationAnalysis::closeRun()
 void
 CorrelationAnalysis::onEviction(Addr victim_addr, Addr incoming_addr,
                                 std::uint32_t set, bool by_prefetch,
-                                bool victim_was_untouched_prefetch)
+                                bool victim_was_untouched_prefetch,
+                                std::uint8_t victim_meta)
 {
     (void)incoming_addr;
     (void)set;
     (void)by_prefetch;
     (void)victim_was_untouched_prefetch;
+    (void)victim_meta;
 
     // A cache replacement: this is a "cache miss" event in the
     // paper's Section 5.1 sense, labelled (miss PC, miss block,
@@ -109,11 +111,18 @@ CorrelationAnalysis::step(const MemRef &ref)
 std::uint64_t
 CorrelationAnalysis::run(TraceSource &src, std::uint64_t refs)
 {
-    MemRef ref;
+    constexpr std::size_t batch_refs = 256;
+    std::vector<MemRef> batch(batch_refs);
     std::uint64_t done = 0;
-    while (done < refs && src.next(ref)) {
-        step(ref);
-        done++;
+    while (done < refs) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(refs - done, batch_refs));
+        const std::size_t got = src.fill({batch.data(), want});
+        for (std::size_t i = 0; i < got; i++)
+            step(batch[i]);
+        done += got;
+        if (got < want)
+            break;
     }
     return done;
 }

@@ -22,12 +22,14 @@ DeadTimeAnalysis::~DeadTimeAnalysis()
 void
 DeadTimeAnalysis::onEviction(Addr victim_addr, Addr incoming_addr,
                              std::uint32_t set, bool by_prefetch,
-                             bool victim_was_untouched_prefetch)
+                             bool victim_was_untouched_prefetch,
+                             std::uint8_t victim_meta)
 {
     (void)incoming_addr;
     (void)set;
     (void)by_prefetch;
     (void)victim_was_untouched_prefetch;
+    (void)victim_meta;
     auto it = lastTouch_.find(victim_addr);
     if (it == lastTouch_.end())
         return;
@@ -47,11 +49,18 @@ DeadTimeAnalysis::step(const MemRef &ref)
 std::uint64_t
 DeadTimeAnalysis::run(TraceSource &src, std::uint64_t refs)
 {
-    MemRef ref;
+    constexpr std::size_t batch_refs = 256;
+    std::vector<MemRef> batch(batch_refs);
     std::uint64_t done = 0;
-    while (done < refs && src.next(ref)) {
-        step(ref);
-        done++;
+    while (done < refs) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(refs - done, batch_refs));
+        const std::size_t got = src.fill({batch.data(), want});
+        for (std::size_t i = 0; i < got; i++)
+            step(batch[i]);
+        done += got;
+        if (got < want)
+            break;
     }
     return done;
 }

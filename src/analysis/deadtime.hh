@@ -47,7 +47,8 @@ class DeadTimeAnalysis : public CacheListener
 
     void onEviction(Addr victim_addr, Addr incoming_addr,
                     std::uint32_t set, bool by_prefetch,
-                    bool victim_was_untouched_prefetch) override;
+                    bool victim_was_untouched_prefetch,
+                    std::uint8_t victim_meta) override;
 
   private:
     Cache l1d_;

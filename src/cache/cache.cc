@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include <algorithm>
+
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -11,188 +13,129 @@ Cache::Cache(const CacheConfig &config) : config_(config)
     config_.validate();
     lineBits_ = exactLog2(config_.lineBytes);
     setMask_ = config_.numSets() - 1;
-    lines_.resize(config_.numLines());
-}
-
-Cache::Line *
-Cache::findLine(Addr block_addr)
-{
-    const std::uint32_t set = setIndex(block_addr);
-    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
-    for (std::uint32_t w = 0; w < config_.assoc; w++) {
-        if (base[w].valid && base[w].blockAddr == block_addr)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(Addr block_addr) const
-{
-    return const_cast<Cache *>(this)->findLine(block_addr);
-}
-
-std::uint32_t
-Cache::victimWay(std::uint32_t set)
-{
-    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
-    // Prefer an invalid way.
-    for (std::uint32_t w = 0; w < config_.assoc; w++) {
-        if (!base[w].valid)
-            return w;
-    }
-    switch (config_.policy) {
-      case ReplPolicy::LRU: {
-        std::uint32_t victim = 0;
-        for (std::uint32_t w = 1; w < config_.assoc; w++) {
-            if (base[w].lastUse < base[victim].lastUse)
-                victim = w;
-        }
-        return victim;
-      }
-      case ReplPolicy::FIFO: {
-        std::uint32_t victim = 0;
-        for (std::uint32_t w = 1; w < config_.assoc; w++) {
-            if (base[w].fillTime < base[victim].fillTime)
-                victim = w;
-        }
-        return victim;
-      }
-      case ReplPolicy::Random:
-        return static_cast<std::uint32_t>(rng_.below(config_.assoc));
-    }
-    ltc_panic("unreachable replacement policy");
-}
-
-CacheOutcome
-Cache::insert(Addr block_addr, std::uint32_t way, bool by_prefetch,
-              bool mark_prefetched)
-{
-    const std::uint32_t set = setIndex(block_addr);
-    Line &line =
-        lines_[static_cast<std::size_t>(set) * config_.assoc + way];
-
-    CacheOutcome out;
-    out.set = set;
-    if (line.valid) {
-        out.evicted = true;
-        out.victimAddr = line.blockAddr;
-        evictions_++;
-        if (listener_) {
-            listener_->onEviction(line.blockAddr, block_addr, set,
-                                  by_prefetch, line.prefetched);
-        }
-    }
-    line.blockAddr = block_addr;
-    line.valid = true;
-    line.dirty = false;
-    line.prefetched = mark_prefetched;
-    line.lastUse = ++stamp_;
-    line.fillTime = stamp_;
-    return out;
-}
-
-CacheOutcome
-Cache::access(Addr addr, MemOp op)
-{
-    const Addr block = blockAlign(addr);
-    accesses_++;
-
-    if (Line *line = findLine(block)) {
-        line->lastUse = ++stamp_;
-        CacheOutcome out;
-        out.hit = true;
-        out.hitUntouchedPrefetch = line->prefetched;
-        out.set = setIndex(block);
-        line->prefetched = false;
-        if (op == MemOp::Store)
-            line->dirty = true;
-        return out;
-    }
-
-    misses_++;
-    const std::uint32_t set = setIndex(block);
-    CacheOutcome out = insert(block, victimWay(set), false, false);
-    if (op == MemOp::Store) {
-        Line *line = findLine(block);
-        line->dirty = true;
-    }
-    return out;
+    tagFlags_.resize(config_.numLines());
+    stamps_.resize(config_.numLines());
+    evictMarks_.resize(config_.numSets());
 }
 
 CacheOutcome
 Cache::fillReplacing(Addr addr, Addr predicted_victim)
 {
-    const Addr block = blockAlign(addr);
-    if (findLine(block)) {
+    if (findIndex(addr) != noWay) {
         CacheOutcome out;
         out.hit = true;
-        out.set = setIndex(block);
+        out.set = setIndex(addr);
         return out;
     }
     prefetchFills_++;
-    const std::uint32_t set = setIndex(block);
+    const std::uint64_t tag = tagOf(addr);
+    const std::uint32_t set = setIndex(addr);
 
-    const Addr victim_block = blockAlign(predicted_victim);
-    if (setIndex(victim_block) == set) {
-        Line *base =
-            &lines_[static_cast<std::size_t>(set) * config_.assoc];
-        for (std::uint32_t w = 0; w < config_.assoc; w++) {
-            if (base[w].valid && base[w].blockAddr == victim_block)
-                return insert(block, w, true, true);
+    if (setIndex(predicted_victim) == set) {
+        const std::size_t victim = findIndex(predicted_victim);
+        if (victim != noWay) {
+            const std::uint32_t way = static_cast<std::uint32_t>(
+                victim - static_cast<std::size_t>(set) * config_.assoc);
+            return insert(tag, set, way, true, true, false);
         }
     }
-    return insert(block, victimWay(set), true, true);
+    return insert(tag, set, victimWay(set), true, true, false);
 }
 
 CacheOutcome
 Cache::fill(Addr addr, bool mark_prefetched)
 {
-    const Addr block = blockAlign(addr);
-    if (findLine(block)) {
+    if (findIndex(addr) != noWay) {
         CacheOutcome out;
         out.hit = true;
-        out.set = setIndex(block);
+        out.set = setIndex(addr);
         return out;
     }
     prefetchFills_++;
-    const std::uint32_t set = setIndex(block);
-    return insert(block, victimWay(set), true, mark_prefetched);
+    const std::uint32_t set = setIndex(addr);
+    return insert(tagOf(addr), set, victimWay(set), true,
+                  mark_prefetched, false);
 }
 
 bool
 Cache::probe(Addr addr) const
 {
-    return findLine(blockAlign(addr)) != nullptr;
+    return findIndex(addr) != noWay;
 }
 
 bool
 Cache::invalidate(Addr addr)
 {
-    if (Line *line = findLine(blockAlign(addr))) {
-        line->valid = false;
-        line->blockAddr = invalidAddr;
-        return true;
-    }
-    return false;
+    const std::size_t idx = findIndex(addr);
+    if (idx == noWay)
+        return false;
+    tagFlags_[idx] = 0;
+    stamps_[idx] = 0;
+    return true;
 }
 
 void
 Cache::flush()
 {
-    for (Line &line : lines_) {
-        line.valid = false;
-        line.blockAddr = invalidAddr;
-        line.dirty = false;
-        line.prefetched = false;
+    // Line state (including engine metadata) dies with the contents;
+    // eviction marks describe non-resident blocks and survive, as
+    // the engines' side tables always did.
+    std::fill(tagFlags_.begin(), tagFlags_.end(), 0);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+}
+
+bool
+Cache::setMeta(Addr addr, std::uint8_t meta)
+{
+    const std::size_t idx = findIndex(addr);
+    if (idx == noWay)
+        return false;
+    tagFlags_[idx] = (tagFlags_[idx] & ~lineMetaMask) |
+        (static_cast<std::uint64_t>(meta & 0x3) << lineMetaShift);
+    return true;
+}
+
+std::uint8_t
+Cache::takeMeta(Addr addr)
+{
+    const std::size_t idx = findIndex(addr);
+    if (idx == noWay)
+        return 0;
+    const std::uint8_t meta = lineMeta(tagFlags_[idx]);
+    tagFlags_[idx] &= ~lineMetaMask;
+    return meta;
+}
+
+void
+Cache::markEvicted(Addr addr)
+{
+    const Addr block = blockAlign(addr);
+    std::vector<Addr> &bucket = evictMarks_[setIndex(block)];
+    for (Addr marked : bucket) {
+        if (marked == block)
+            return;
     }
+    bucket.push_back(block);
+}
+
+bool
+Cache::clearEvictedMarkSlow(std::vector<Addr> &bucket, Addr block)
+{
+    for (std::size_t i = 0; i < bucket.size(); i++) {
+        if (bucket[i] == block) {
+            bucket[i] = bucket.back();
+            bucket.pop_back();
+            return true;
+        }
+    }
+    return false;
 }
 
 bool
 Cache::isUntouchedPrefetch(Addr addr) const
 {
-    const Line *line = findLine(blockAlign(addr));
-    return line && line->prefetched;
+    const std::size_t idx = findIndex(addr);
+    return idx != noWay && (tagFlags_[idx] & linePrefetched);
 }
 
 } // namespace ltc

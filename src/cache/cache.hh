@@ -23,6 +23,24 @@
 namespace ltc
 {
 
+/**
+ * Engine-owned per-line metadata bits.
+ *
+ * The simulation engines used to keep side tables (hash maps keyed by
+ * block address) describing how a prefetched line was fetched; those
+ * probes sat on the per-reference hot path. The bits now live on the
+ * cache line itself and travel with it: access() reports and clears
+ * them (CacheOutcome::meta), evictions hand them to the listener
+ * (victim_meta). The cache never interprets them.
+ */
+enum : std::uint8_t
+{
+    /** A fetched-off-chip classification entry exists for the line. */
+    LineMetaFetched = 0x1,
+    /** The prefetch that filled the line crossed the chip boundary. */
+    LineMetaOffChip = 0x2,
+};
+
 /** Observer of cache events (used by analyses and predictors). */
 class CacheListener
 {
@@ -38,10 +56,13 @@ class CacheListener
      * @param victim_was_untouched_prefetch True when the victim had
      *        been prefetched and never referenced by demand (a
      *        useless prefetch).
+     * @param victim_meta   The victim line's engine-owned metadata
+     *        bits (LineMeta*) at eviction time.
      */
     virtual void onEviction(Addr victim_addr, Addr incoming_addr,
                             std::uint32_t set, bool by_prefetch,
-                            bool victim_was_untouched_prefetch) = 0;
+                            bool victim_was_untouched_prefetch,
+                            std::uint8_t victim_meta) = 0;
 };
 
 /** Result of one cache access or fill. */
@@ -56,11 +77,23 @@ struct CacheOutcome
     Addr victimAddr = invalidAddr;
     /** Set index touched by the access. */
     std::uint32_t set = 0;
+    /**
+     * On a hit: the line's engine-owned metadata bits, which the
+     * access consumed (the line's copy is cleared — a demand touch
+     * ends the line's prefetched life, so its classification entry
+     * moves to the outcome).
+     */
+    std::uint8_t meta = 0;
 };
 
 /**
- * Set-associative cache with pluggable replacement. Tags are stored
- * as full block addresses; data are not modelled (trace-driven).
+ * Set-associative cache with pluggable replacement. Data are not
+ * modelled (trace-driven). Each way is packed into 16 bytes — one
+ * word holding the block tag plus all status/metadata bits, one word
+ * holding the replacement stamp — so a whole 8-way set spans two host
+ * cache lines and the lookup/victim scans of the simulation hot path
+ * stay memory-cheap (the tag word layout is also the natural starting
+ * point for a SIMD set search, a ROADMAP follow-on).
  */
 class Cache
 {
@@ -69,9 +102,68 @@ class Cache
 
     /**
      * Demand access: on a miss the block is filled, evicting the
-     * replacement-policy victim.
+     * replacement-policy victim. Defined inline below: this is the
+     * innermost call of the engines' batched run loops, and inlining
+     * the whole lookup/insert chain there is worth ~2x simulator
+     * throughput.
      */
     CacheOutcome access(Addr addr, MemOp op);
+
+    /**
+     * Register-resident counter state for the baseline batch kernel.
+     * The stamp counter and occupancy statistics live in this POD for
+     * the duration of a batch, so the inner loop carries no
+     * loop-carried dependences through the cache object's memory.
+     * Snapshot with baselineCursor(), thread through every
+     * accessBaseline() of the batch, write back with
+     * commitBaseline().
+     */
+    struct BaselineCursor
+    {
+        std::uint64_t stamp = 0;
+        std::uint64_t accesses = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    /** Snapshot the counters for a baseline batch. */
+    BaselineCursor
+    baselineCursor() const
+    {
+        return {stamp_, accesses_, misses_, evictions_};
+    }
+
+    /** Write a batch's counters back (pairs with baselineCursor()). */
+    void
+    commitBaseline(const BaselineCursor &cur)
+    {
+        stamp_ = cur.stamp;
+        accesses_ = cur.accesses;
+        misses_ = cur.misses;
+        evictions_ = cur.evictions;
+    }
+
+    /**
+     * Trimmed demand access for baseline (demand-only) runs: same
+     * state transitions as access() but reports only hit/miss and
+     * counts into @p cur instead of the member statistics.
+     *
+     * @tparam StaticAssoc Compile-time associativity, or 0 to read it
+     *         from the configuration. Engines dispatch to a non-zero
+     *         instantiation when the geometry matches a common one
+     *         (the constant lets the compiler unroll the way scans,
+     *         worth ~2x on miss-heavy streams); callers must pass
+     *         either 0 or exactly config().assoc.
+     *
+     * Preconditions the caller must guarantee (the predictor-less
+     * engine fast path does, by construction): no line carries
+     * prefetched/metadata state, and any attached listener ignores
+     * demand evictions — under those, skipping the outcome struct and
+     * the listener call is behaviour-identical, and the batch/scalar
+     * equivalence tests pin it.
+     */
+    template <std::uint32_t StaticAssoc = 0>
+    bool accessBaseline(Addr addr, MemOp op, BaselineCursor &cur);
 
     /**
      * Prefetch fill that replaces @p predicted_victim if that block is
@@ -102,6 +194,46 @@ class Cache
     /** True if the block was brought in by a prefetch and not yet
      *  referenced by demand. */
     bool isUntouchedPrefetch(Addr addr) const;
+
+    /**
+     * Overwrite the engine-owned metadata bits of @p addr's line.
+     * No-op when the block is not resident; returns whether it was.
+     */
+    bool setMeta(Addr addr, std::uint8_t meta);
+
+    /**
+     * Read and clear the engine-owned metadata bits of @p addr's
+     * line; 0 when the block is not resident.
+     */
+    std::uint8_t takeMeta(Addr addr);
+
+    /**
+     * Record an engine-owned mark for @p addr, a block that was just
+     * evicted from this cache (the trace engine's "early eviction"
+     * candidates). Marked blocks are by definition NOT resident, so
+     * the mark cannot ride on a line; it lives in a per-set side list
+     * instead, which is empty in predictor-less runs and a handful of
+     * entries otherwise — checking it costs one indexed load, not a
+     * hash probe. Inserting an already-marked block is a no-op.
+     */
+    void markEvicted(Addr addr);
+
+    /**
+     * Remove the eviction mark for @p addr if present; returns
+     * whether it was. Engines call this whenever the block becomes
+     * resident again (demand miss or prefetch fill). Inline: this
+     * sits on the engines' per-miss path, and the common no-marks
+     * case is a single indexed load.
+     */
+    bool
+    clearEvictedMark(Addr addr)
+    {
+        const Addr block = blockAlign(addr);
+        std::vector<Addr> &bucket = evictMarks_[setIndex(block)];
+        if (bucket.empty())
+            return false;
+        return clearEvictedMarkSlow(bucket, block);
+    }
 
     void setListener(CacheListener *listener) { listener_ = listener; }
 
@@ -134,26 +266,68 @@ class Cache
     }
 
   private:
-    struct Line
-    {
-        Addr blockAddr = invalidAddr;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;   //!< filled by prefetch, not yet used
-        std::uint64_t lastUse = 0; //!< LRU stamp
-        std::uint64_t fillTime = 0; //!< FIFO stamp
-    };
+    // Packed tag word: (block number & tagMask) << tagShift, OR'd
+    // with the status bits below; 0 = invalid. Block numbers use the
+    // top 58 bits, which is lossless for every line size >= 64B (and
+    // aliases only past 2^58 blocks otherwise). Tag words and
+    // replacement stamps live in parallel row-major arrays
+    // (structure-of-arrays): a whole 8-way set's tags span a single
+    // host cache line, so the lookup scan of the simulation hot path
+    // touches minimal memory, and the stamps are only read by victim
+    // selection (LRU last-use, updated on hit; FIFO fill stamp,
+    // written at insert — the policies never need both at once).
+    static constexpr std::uint64_t lineValid = 0x01;
+    static constexpr std::uint64_t lineDirty = 0x02;
+    static constexpr std::uint64_t linePrefetched = 0x04;
+    static constexpr unsigned lineMetaShift = 3; //!< 2 LineMeta* bits
+    static constexpr std::uint64_t lineMetaMask = 0x3u << lineMetaShift;
+    static constexpr unsigned tagShift = 6;
+    static constexpr std::uint64_t tagMask =
+        (std::uint64_t{1} << (64 - tagShift)) - 1;
 
-    Line *findLine(Addr block_addr);
-    const Line *findLine(Addr block_addr) const;
+    /** Block number of @p addr, masked to the packed tag width. */
+    std::uint64_t
+    tagOf(Addr addr) const
+    {
+        return (addr >> lineBits_) & tagMask;
+    }
+
+    /** Block-aligned address stored in a line's tag word. */
+    Addr
+    lineAddr(std::uint64_t tag_flags) const
+    {
+        return (tag_flags >> tagShift) << lineBits_;
+    }
+
+    static std::uint8_t
+    lineMeta(std::uint64_t tag_flags)
+    {
+        return static_cast<std::uint8_t>(
+            (tag_flags >> lineMetaShift) & 0x3);
+    }
+
+    /** No way holds the block. */
+    static constexpr std::size_t noWay = ~std::size_t{0};
+
+    /** Index of @p addr's line in tagFlags_/stamps_; noWay if absent. */
+    std::size_t findIndex(Addr addr) const;
     std::uint32_t victimWay(std::uint32_t set);
-    CacheOutcome insert(Addr block_addr, std::uint32_t way,
-                        bool by_prefetch, bool mark_prefetched);
+    CacheOutcome insert(std::uint64_t tag, std::uint32_t set,
+                        std::uint32_t way, bool by_prefetch,
+                        bool mark_prefetched, bool dirty);
+    bool clearEvictedMarkSlow(std::vector<Addr> &bucket, Addr block);
 
     CacheConfig config_;
     unsigned lineBits_;
     std::uint64_t setMask_;
-    std::vector<Line> lines_; //!< sets x ways, row-major
+    std::vector<std::uint64_t> tagFlags_; //!< sets x ways, row-major
+    std::vector<std::uint64_t> stamps_;   //!< parallel to tagFlags_
+    /**
+     * Per-set eviction marks (markEvicted()). Kept sorted by nothing
+     * — membership only; buckets stay allocated across clears so the
+     * steady state is allocation-free.
+     */
+    std::vector<std::vector<Addr>> evictMarks_;
     std::uint64_t stamp_ = 0;
     Rng rng_{12345};
     CacheListener *listener_ = nullptr;
@@ -163,6 +337,167 @@ class Cache
     std::uint64_t evictions_ = 0;
     std::uint64_t prefetchFills_ = 0;
 };
+
+// ------------------------------------------------------ hot path
+//
+// The demand-access chain (findIndex -> access -> insert) is defined
+// inline here so the engines' batched run loops compile it into one
+// tight loop: no call boundary is crossed per reference except the
+// (rare) eviction-listener virtual call.
+
+inline std::size_t
+Cache::findIndex(Addr addr) const
+{
+    const std::uint64_t tag = tagOf(addr);
+    const std::uint32_t set =
+        static_cast<std::uint32_t>((addr >> lineBits_) & setMask_);
+    const std::uint64_t want = (tag << tagShift) | lineValid;
+    const std::size_t base =
+        static_cast<std::size_t>(set) * config_.assoc;
+    for (std::uint32_t w = 0; w < config_.assoc; w++) {
+        const std::uint64_t tf = tagFlags_[base + w];
+        if ((tf & ~(lineDirty | linePrefetched | lineMetaMask)) == want)
+            return base + w;
+    }
+    return noWay;
+}
+
+inline std::uint32_t
+Cache::victimWay(std::uint32_t set)
+{
+    const std::size_t base =
+        static_cast<std::size_t>(set) * config_.assoc;
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < config_.assoc; w++) {
+        if (!(tagFlags_[base + w] & lineValid))
+            return w;
+    }
+    if (config_.policy == ReplPolicy::Random)
+        return static_cast<std::uint32_t>(rng_.below(config_.assoc));
+    // LRU and FIFO both evict the minimum stamp; they differ only in
+    // when the stamp is written (every use vs fill only).
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < config_.assoc; w++) {
+        if (stamps_[base + w] < stamps_[base + victim])
+            victim = w;
+    }
+    return victim;
+}
+
+inline CacheOutcome
+Cache::insert(std::uint64_t tag, std::uint32_t set, std::uint32_t way,
+              bool by_prefetch, bool mark_prefetched, bool dirty)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(set) * config_.assoc + way;
+    const std::uint64_t old = tagFlags_[idx];
+
+    CacheOutcome out;
+    out.set = set;
+    if (old & lineValid) {
+        out.evicted = true;
+        out.victimAddr = lineAddr(old);
+        evictions_++;
+        if (listener_) {
+            listener_->onEviction(
+                out.victimAddr, (tag << lineBits_), set, by_prefetch,
+                (old & linePrefetched) != 0, lineMeta(old));
+        }
+    }
+    tagFlags_[idx] = (tag << tagShift) | lineValid |
+        (dirty ? lineDirty : 0) |
+        (mark_prefetched ? linePrefetched : 0);
+    stamps_[idx] = ++stamp_;
+    return out;
+}
+
+inline CacheOutcome
+Cache::access(Addr addr, MemOp op)
+{
+    accesses_++;
+    const std::uint64_t tag = tagOf(addr);
+    const std::uint32_t set =
+        static_cast<std::uint32_t>((addr >> lineBits_) & setMask_);
+    const std::uint64_t want = (tag << tagShift) | lineValid;
+    const std::size_t base =
+        static_cast<std::size_t>(set) * config_.assoc;
+
+    for (std::uint32_t w = 0; w < config_.assoc; w++) {
+        const std::uint64_t tf = tagFlags_[base + w];
+        if ((tf & ~(lineDirty | linePrefetched | lineMetaMask)) != want)
+            continue;
+        CacheOutcome out;
+        out.hit = true;
+        out.hitUntouchedPrefetch = (tf & linePrefetched) != 0;
+        out.set = set;
+        out.meta = lineMeta(tf);
+        // The demand touch consumes the prefetched/metadata state.
+        std::uint64_t cleared = tf & ~(linePrefetched | lineMetaMask);
+        if (op == MemOp::Store)
+            cleared |= lineDirty;
+        tagFlags_[base + w] = cleared;
+        if (config_.policy == ReplPolicy::LRU)
+            stamps_[base + w] = ++stamp_;
+        return out;
+    }
+
+    misses_++;
+    return insert(tag, set, victimWay(set), false, false,
+                  op == MemOp::Store);
+}
+
+template <std::uint32_t StaticAssoc>
+inline bool
+Cache::accessBaseline(Addr addr, MemOp op, BaselineCursor &cur)
+{
+    cur.accesses++;
+    const std::uint32_t assoc =
+        StaticAssoc ? StaticAssoc : config_.assoc;
+    const ReplPolicy policy = config_.policy;
+    const std::uint64_t bn = addr >> lineBits_;
+    const std::uint64_t want = ((bn & tagMask) << tagShift) | lineValid;
+    const std::uint32_t set = static_cast<std::uint32_t>(bn & setMask_);
+    std::uint64_t *tags =
+        tagFlags_.data() + static_cast<std::size_t>(set) * assoc;
+    std::uint64_t *stamps =
+        stamps_.data() + static_cast<std::size_t>(set) * assoc;
+
+    for (std::uint32_t w = 0; w < assoc; w++) {
+        const std::uint64_t tf = tags[w];
+        // One fused compare: tag + valid, ignoring the status bits.
+        if ((tf & ~(lineDirty | linePrefetched | lineMetaMask)) != want)
+            continue;
+        if (op == MemOp::Store)
+            tags[w] = tf | lineDirty;
+        if (policy == ReplPolicy::LRU)
+            stamps[w] = ++cur.stamp;
+        return true;
+    }
+
+    cur.misses++;
+    std::uint32_t way = assoc;
+    for (std::uint32_t w = 0; w < assoc; w++) {
+        if (!(tags[w] & lineValid)) {
+            way = w;
+            break;
+        }
+    }
+    if (way == assoc) {
+        cur.evictions++; // every way valid: the victim is live
+        if (policy == ReplPolicy::Random) {
+            way = static_cast<std::uint32_t>(rng_.below(assoc));
+        } else {
+            way = 0;
+            for (std::uint32_t w = 1; w < assoc; w++) {
+                if (stamps[w] < stamps[way])
+                    way = w;
+            }
+        }
+    }
+    tags[way] = want | (op == MemOp::Store ? lineDirty : 0);
+    stamps[way] = ++cur.stamp;
+    return false;
+}
 
 } // namespace ltc
 

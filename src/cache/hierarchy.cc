@@ -28,41 +28,6 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
     }
 }
 
-HierOutcome
-CacheHierarchy::access(Addr addr, MemOp op)
-{
-    accesses_++;
-    HierOutcome out;
-
-    if (config_.perfectL1) {
-        out.level = HitLevel::L1;
-        return out;
-    }
-
-    const CacheOutcome l1 = l1d_.access(addr, op);
-    out.l1Set = l1.set;
-    if (l1.hit) {
-        out.level = HitLevel::L1;
-        out.l1HitOnPrefetch = l1.hitUntouchedPrefetch;
-        return out;
-    }
-
-    out.l1Evicted = l1.evicted;
-    out.l1VictimAddr = l1.victimAddr;
-    l1Misses_++;
-
-    const CacheOutcome l2 = l2_.access(addr, op);
-    if (l2.hit) {
-        out.level = HitLevel::L2;
-        out.l2HitOnPrefetch = l2.hitUntouchedPrefetch;
-        return out;
-    }
-
-    l2Misses_++;
-    out.level = HitLevel::Memory;
-    return out;
-}
-
 PrefetchOutcome
 CacheHierarchy::prefetch(Addr addr, Addr predicted_victim)
 {

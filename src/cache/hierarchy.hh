@@ -54,6 +54,10 @@ struct HierOutcome
     bool l2HitOnPrefetch = false;
     /** L1D eviction caused by this access (fodder for last touches). */
     bool l1Evicted = false;
+    /** Engine metadata bits consumed from the hitting L1 line. */
+    std::uint8_t l1Meta = 0;
+    /** Engine metadata bits consumed from the hitting L2 line. */
+    std::uint8_t l2Meta = 0;
     Addr l1VictimAddr = invalidAddr;
     std::uint32_t l1Set = 0;
     bool l1Hit() const { return level == HitLevel::L1; }
@@ -76,8 +80,26 @@ class CacheHierarchy
   public:
     explicit CacheHierarchy(const HierarchyConfig &config);
 
-    /** Demand access from the core. */
+    /**
+     * Demand access from the core. Defined inline below — together
+     * with the inline Cache::access it forms the engines' tight
+     * per-reference inner loop.
+     */
     HierOutcome access(Addr addr, MemOp op);
+
+    /**
+     * Reconcile the hierarchy-level counters after a baseline batch
+     * (TraceEngine's predictor-less kernel drives the member caches
+     * through Cache::accessBaseline and reports the totals here).
+     */
+    void
+    noteBaselineBatch(std::uint64_t accesses, std::uint64_t l1_misses,
+                      std::uint64_t l2_misses)
+    {
+        accesses_ += accesses;
+        l1Misses_ += l1_misses;
+        l2Misses_ += l2_misses;
+    }
 
     /**
      * Prefetch @p addr into L1D replacing @p predicted_victim, and
@@ -106,6 +128,43 @@ class CacheHierarchy
     std::uint64_t l1Misses_ = 0;
     std::uint64_t l2Misses_ = 0;
 };
+
+inline HierOutcome
+CacheHierarchy::access(Addr addr, MemOp op)
+{
+    accesses_++;
+    HierOutcome out;
+
+    if (config_.perfectL1) {
+        out.level = HitLevel::L1;
+        return out;
+    }
+
+    const CacheOutcome l1 = l1d_.access(addr, op);
+    out.l1Set = l1.set;
+    if (l1.hit) {
+        out.level = HitLevel::L1;
+        out.l1HitOnPrefetch = l1.hitUntouchedPrefetch;
+        out.l1Meta = l1.meta;
+        return out;
+    }
+
+    out.l1Evicted = l1.evicted;
+    out.l1VictimAddr = l1.victimAddr;
+    l1Misses_++;
+
+    const CacheOutcome l2 = l2_.access(addr, op);
+    if (l2.hit) {
+        out.level = HitLevel::L2;
+        out.l2HitOnPrefetch = l2.hitUntouchedPrefetch;
+        out.l2Meta = l2.meta;
+        return out;
+    }
+
+    l2Misses_++;
+    out.level = HitLevel::Memory;
+    return out;
+}
 
 } // namespace ltc
 

@@ -83,12 +83,30 @@ class Prefetcher
      */
     virtual void setNow(Cycle now) { (void)now; }
 
-    /** Move the pending requests out (clears the queue). */
+    /**
+     * Move the pending requests into @p out, replacing its contents
+     * (the queue is left empty). The engines call this once per
+     * reference with a reusable buffer: the two vectors swap storage,
+     * so the steady state allocates nothing — unlike drainRequests(),
+     * which returns a fresh vector every call.
+     */
+    void
+    drainRequestsInto(std::vector<PrefetchRequest> &out)
+    {
+        out.clear();
+        std::swap(out, requests_);
+    }
+
+    /**
+     * Move the pending requests out (clears the queue). Convenience
+     * wrapper over drainRequestsInto() for tests and tools; hot loops
+     * should pass a reusable buffer instead.
+     */
     std::vector<PrefetchRequest>
     drainRequests()
     {
-        std::vector<PrefetchRequest> out = std::move(requests_);
-        requests_.clear();
+        std::vector<PrefetchRequest> out;
+        drainRequestsInto(out);
         return out;
     }
 

@@ -25,7 +25,8 @@ TimingSim::~TimingSim()
 void
 TimingSim::onEviction(Addr victim_addr, Addr incoming_addr,
                       std::uint32_t set, bool by_prefetch,
-                      bool victim_was_untouched_prefetch)
+                      bool victim_was_untouched_prefetch,
+                      std::uint8_t victim_meta)
 {
     (void)incoming_addr;
     (void)set;
@@ -33,13 +34,15 @@ TimingSim::onEviction(Addr victim_addr, Addr incoming_addr,
     if (!victim_was_untouched_prefetch)
         return;
     running_.useless++;
-    auto it = fetchedOffChip_.find(victim_addr);
-    if (it != fetchedOffChip_.end()) {
-        if (it->second) {
-            running_.traffic.add(Traffic::IncorrectPrefetch,
-                                 config_.hier.l1d.lineBytes);
-        }
-        fetchedOffChip_.erase(it);
+    // The classification entry rides on the victim line; a later
+    // conventional prefetch may have moved the block's entry to the
+    // L2 line (at most one entry exists per block).
+    std::uint8_t meta = victim_meta;
+    if (!(meta & LineMetaFetched))
+        meta = hier_.l2().takeMeta(victim_addr);
+    if ((meta & LineMetaFetched) && (meta & LineMetaOffChip)) {
+        running_.traffic.add(Traffic::IncorrectPrefetch,
+                             config_.hier.l1d.lineBytes);
     }
     inflight_.erase(victim_addr);
     if (pred_) {
@@ -170,13 +173,19 @@ TimingSim::issuePrefetch(const PrefetchRequest &req, Cycle now)
         if (out.alreadyInL1)
             return;
         inflight_[block] = complete;
-        fetchedOffChip_[block] = !l2_hit;
+        // One classification entry per block: retire any stale
+        // L2-side entry before writing the L1 line's.
+        hier_.l2().takeMeta(block);
+        hier_.l1d().setMeta(block,
+                            LineMetaFetched |
+                                (l2_hit ? 0 : LineMetaOffChip));
         if (out.l1Evicted && pred_)
             pred_->onPrefetchEviction(out.l1VictimAddr, req.target);
     } else {
         hier_.l2().fill(block);
         inflight_[block] = data_ready;
-        fetchedOffChip_[block] = true;
+        hier_.l1d().takeMeta(block);
+        hier_.l2().setMeta(block, LineMetaFetched | LineMetaOffChip);
     }
 }
 
@@ -227,13 +236,14 @@ TimingSim::step(const MemRef &ref)
         }
         if (out.l1HitOnPrefetch) {
             running_.correct++;
-            auto fit = fetchedOffChip_.find(block);
-            if (fit != fetchedOffChip_.end()) {
-                if (fit->second) {
-                    running_.traffic.add(Traffic::BaseData,
-                                         config_.hier.l1d.lineBytes);
-                }
-                fetchedOffChip_.erase(fit);
+            // The access consumed the L1 line's classification
+            // entry; fall back to an L2-side entry.
+            std::uint8_t meta = out.l1Meta;
+            if (!(meta & LineMetaFetched))
+                meta = hier_.l2().takeMeta(block);
+            if ((meta & LineMetaFetched) && (meta & LineMetaOffChip)) {
+                running_.traffic.add(Traffic::BaseData,
+                                     config_.hier.l1d.lineBytes);
             }
             if (pred_) {
                 PrefetchFeedback fb;
@@ -249,13 +259,10 @@ TimingSim::step(const MemRef &ref)
             running_.traffic.add(Traffic::BaseData,
                                  config_.hier.l1d.lineBytes);
         } else if (out.l2HitOnPrefetch) {
-            auto fit = fetchedOffChip_.find(block);
-            if (fit != fetchedOffChip_.end()) {
-                if (fit->second) {
-                    running_.traffic.add(Traffic::BaseData,
-                                         config_.hier.l1d.lineBytes);
-                }
-                fetchedOffChip_.erase(fit);
+            if ((out.l2Meta & LineMetaFetched) &&
+                (out.l2Meta & LineMetaOffChip)) {
+                running_.traffic.add(Traffic::BaseData,
+                                     config_.hier.l1d.lineBytes);
             }
             if (pred_) {
                 PrefetchFeedback fb;
@@ -295,7 +302,8 @@ TimingSim::step(const MemRef &ref)
     if (pred_) {
         pred_->setNow(issue);
         pred_->observe(ref, out);
-        for (const PrefetchRequest &req : pred_->drainRequests())
+        pred_->drainRequestsInto(reqBuf_);
+        for (const PrefetchRequest &req : reqBuf_)
             enqueuePrefetch(req);
         drainPrefetchQueue(ready);
         chargeMetaTraffic(issue);
@@ -305,11 +313,19 @@ TimingSim::step(const MemRef &ref)
 std::uint64_t
 TimingSim::run(TraceSource &src, std::uint64_t refs)
 {
-    MemRef ref;
+    constexpr std::size_t batch_refs = 256;
+    if (batch_.size() < batch_refs)
+        batch_.resize(batch_refs);
     std::uint64_t done = 0;
-    while (done < refs && src.next(ref)) {
-        step(ref);
-        done++;
+    while (done < refs) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(refs - done, batch_refs));
+        const std::size_t got = src.fill({batch_.data(), want});
+        for (std::size_t i = 0; i < got; i++)
+            step(batch_[i]);
+        done += got;
+        if (got < want)
+            break; // end of trace
     }
     return done;
 }

@@ -28,7 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "cache/hierarchy.hh"
 #include "cache/mshr.hh"
@@ -114,7 +114,11 @@ class TimingSim : public CacheListener
     /** Process one reference. */
     void step(const MemRef &ref);
 
-    /** Run up to @p refs references. */
+    /**
+     * Run up to @p refs references, pulled in batches through
+     * TraceSource::fill() into a reusable buffer (the batched kernel;
+     * see TraceEngine::run). Never pulls more than @p refs records.
+     */
     std::uint64_t run(TraceSource &src, std::uint64_t refs);
 
     /** Snapshot of current results. */
@@ -128,7 +132,8 @@ class TimingSim : public CacheListener
     /** CacheListener: L1D evictions -> prefetch usefulness feedback. */
     void onEviction(Addr victim_addr, Addr incoming_addr,
                     std::uint32_t set, bool by_prefetch,
-                    bool victim_was_untouched_prefetch) override;
+                    bool victim_was_untouched_prefetch,
+                    std::uint8_t victim_meta) override;
 
   private:
     /** Latency path for a demand L1 miss; returns completion cycle. */
@@ -183,8 +188,13 @@ class TimingSim : public CacheListener
 
     /** Blocks prefetched but whose data is still in flight. */
     std::unordered_map<Addr, Cycle> inflight_;
-    /** Prefetched blocks fetched off chip (traffic classification). */
-    std::unordered_map<Addr, bool> fetchedOffChip_;
+    /**
+     * Off-chip classification of prefetched blocks rides on the
+     * cache lines themselves (LineMeta* bits, cache/cache.hh); the
+     * engine keeps only reusable buffers.
+     */
+    std::vector<MemRef> batch_;           //!< run() pull buffer
+    std::vector<PrefetchRequest> reqBuf_; //!< predictor drain buffer
 
     Cycle lastLoadComplete_ = 0;
     /** Monotonic clock for prefetch issue pacing (reference ready

@@ -1,9 +1,20 @@
 #include "sim/trace_engine.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace ltc
 {
+
+/**
+ * How many references run() pulls per fill() call. Large enough to
+ * amortize the per-batch virtual hop to nothing, small enough that
+ * the buffer stays L1-resident (256 records = 6KB): the batch is
+ * written by the generator and immediately re-read by the engine, so
+ * spilling it to L2 costs more than the dispatch it saves.
+ */
+constexpr std::size_t engineBatchRefs = 256;
 
 /**
  * L2 eviction listener: when a block prefetched into L2 (GHB/stride
@@ -17,8 +28,8 @@ class TraceEngine::L2Listener : public CacheListener
 
     void
     onEviction(Addr victim_addr, Addr incoming_addr, std::uint32_t set,
-               bool by_prefetch, bool victim_was_untouched_prefetch)
-        override
+               bool by_prefetch, bool victim_was_untouched_prefetch,
+               std::uint8_t victim_meta) override
     {
         (void)incoming_addr;
         (void)set;
@@ -26,13 +37,17 @@ class TraceEngine::L2Listener : public CacheListener
         if (!victim_was_untouched_prefetch)
             return;
         CoverageStats &s = owner_.buckets_[owner_.current_];
-        auto it = owner_.fetchedOffChip_.find(victim_addr);
-        if (it != owner_.fetchedOffChip_.end()) {
-            if (it->second) {
+        // The classification entry rides on the victim line; if a
+        // later prefetch moved the block's entry to L1D, consume it
+        // there (at most one entry exists per block).
+        std::uint8_t meta = victim_meta;
+        if (!(meta & LineMetaFetched))
+            meta = owner_.hier_.l1d().takeMeta(victim_addr);
+        if (meta & LineMetaFetched) {
+            if (meta & LineMetaOffChip) {
                 s.traffic.add(Traffic::IncorrectPrefetch,
                               owner_.hierConfig_.l2.lineBytes);
             }
-            owner_.fetchedOffChip_.erase(it);
         }
         s.uselessPrefetches++;
         if (owner_.pred_) {
@@ -87,7 +102,8 @@ TraceEngine::stats(std::uint32_t bucket)
 void
 TraceEngine::onEviction(Addr victim_addr, Addr incoming_addr,
                         std::uint32_t set, bool by_prefetch,
-                        bool victim_was_untouched_prefetch)
+                        bool victim_was_untouched_prefetch,
+                        std::uint8_t victim_meta)
 {
     (void)incoming_addr;
     (void)set;
@@ -96,13 +112,14 @@ TraceEngine::onEviction(Addr victim_addr, Addr incoming_addr,
     if (victim_was_untouched_prefetch) {
         // A prefetched block died unused: wrong replacement address.
         s.uselessPrefetches++;
-        auto it = fetchedOffChip_.find(victim_addr);
-        if (it != fetchedOffChip_.end()) {
-            if (it->second) {
+        std::uint8_t meta = victim_meta;
+        if (!(meta & LineMetaFetched))
+            meta = hier_.l2().takeMeta(victim_addr);
+        if (meta & LineMetaFetched) {
+            if (meta & LineMetaOffChip) {
                 s.traffic.add(Traffic::IncorrectPrefetch,
                               hierConfig_.l1d.lineBytes);
             }
-            fetchedOffChip_.erase(it);
         }
         if (pred_) {
             PrefetchFeedback fb;
@@ -116,7 +133,7 @@ TraceEngine::onEviction(Addr victim_addr, Addr incoming_addr,
     if (by_prefetch) {
         // A live block evicted by a prefetch fill: if it misses again
         // later, that miss is a premature ("early") eviction.
-        earlyMarked_.insert(victim_addr);
+        hier_.l1d().markEvicted(victim_addr);
     }
 }
 
@@ -138,8 +155,14 @@ TraceEngine::issuePrefetch(const PrefetchRequest &req)
             }
             return;
         }
-        fetchedOffChip_[block] = !out.l2Hit;
-        earlyMarked_.erase(block); // the prefetch restored it in time
+        // At most one classification entry per block: retire any
+        // stale L2-side entry before writing the L1 line's.
+        hier_.l2().takeMeta(block);
+        hier_.l1d().setMeta(block,
+                            LineMetaFetched |
+                                (out.l2Hit ? 0 : LineMetaOffChip));
+        // The prefetch restored the block in time.
+        hier_.l1d().clearEvictedMark(block);
         if (out.l1Evicted && pred_)
             pred_->onPrefetchEviction(out.l1VictimAddr, req.target);
     } else {
@@ -147,7 +170,8 @@ TraceEngine::issuePrefetch(const PrefetchRequest &req)
         if (hier_.l2().probe(block))
             return;
         hier_.l2().fill(block);
-        fetchedOffChip_[block] = true;
+        hier_.l1d().takeMeta(block);
+        hier_.l2().setMeta(block, LineMetaFetched | LineMetaOffChip);
         s.traffic.add(Traffic::BaseData, 0); // classified on outcome
     }
 }
@@ -157,7 +181,8 @@ TraceEngine::drainPredictor()
 {
     if (!pred_)
         return;
-    for (const PrefetchRequest &req : pred_->drainRequests())
+    pred_->drainRequestsInto(reqBuf_);
+    for (const PrefetchRequest &req : reqBuf_)
         issuePrefetch(req);
     const auto [write_bytes, read_bytes] = pred_->drainMetaTraffic();
     CoverageStats &s = buckets_[current_];
@@ -180,14 +205,14 @@ TraceEngine::step(const MemRef &ref)
             // A miss eliminated by the predictor.
             s.correct++;
             // Charge the block transfer the demand fetch would have
-            // performed anyway.
-            auto it = fetchedOffChip_.find(block);
-            if (it != fetchedOffChip_.end()) {
-                if (it->second) {
-                    s.traffic.add(Traffic::BaseData,
-                                  hierConfig_.l1d.lineBytes);
-                }
-                fetchedOffChip_.erase(it);
+            // performed anyway. The access consumed the L1 line's
+            // classification entry; fall back to an L2-side entry.
+            std::uint8_t meta = out.l1Meta;
+            if (!(meta & LineMetaFetched))
+                meta = hier_.l2().takeMeta(block);
+            if ((meta & LineMetaFetched) && (meta & LineMetaOffChip)) {
+                s.traffic.add(Traffic::BaseData,
+                              hierConfig_.l1d.lineBytes);
             }
             if (pred_) {
                 PrefetchFeedback fb;
@@ -198,7 +223,7 @@ TraceEngine::step(const MemRef &ref)
         }
     } else {
         s.l1Misses++;
-        if (earlyMarked_.erase(block))
+        if (hier_.l1d().clearEvictedMark(block))
             s.early++;
         if (out.level == HitLevel::Memory) {
             s.l2Misses++;
@@ -206,13 +231,10 @@ TraceEngine::step(const MemRef &ref)
         } else if (out.l2HitOnPrefetch) {
             // L2 prefetch (GHB-style) turned an off-chip miss into an
             // L2 hit: account its off-chip transfer as base data.
-            auto it = fetchedOffChip_.find(block);
-            if (it != fetchedOffChip_.end()) {
-                if (it->second) {
-                    s.traffic.add(Traffic::BaseData,
-                                  hierConfig_.l1d.lineBytes);
-                }
-                fetchedOffChip_.erase(it);
+            if ((out.l2Meta & LineMetaFetched) &&
+                (out.l2Meta & LineMetaOffChip)) {
+                s.traffic.add(Traffic::BaseData,
+                              hierConfig_.l1d.lineBytes);
             }
             if (pred_) {
                 PrefetchFeedback fb;
@@ -229,14 +251,104 @@ TraceEngine::step(const MemRef &ref)
     }
 }
 
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+std::uint64_t
+TraceEngine::runBaselineLoop(TraceSource &src, std::uint64_t refs)
+{
+    // The predictor-less kernel: with no predictor attached (and no
+    // prefetch state in the hierarchy — guarded by run()), step()
+    // degenerates to counting hits and misses. All counters — the
+    // engine's, the caches' (via BaselineCursor) and the
+    // hierarchy's — live in locals for the whole run, so the inner
+    // loop is loads, compares and register increments only; state is
+    // reconciled afterwards. The associativity template arguments let
+    // the compiler unroll the way scans for the common geometries.
+    CoverageStats &s = buckets_[current_];
+    Cache &l1 = hier_.l1d();
+    Cache &l2 = hier_.l2();
+    Cache::BaselineCursor c1 = l1.baselineCursor();
+    Cache::BaselineCursor c2 = l2.baselineCursor();
+    std::uint64_t accesses = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_misses = 0;
+
+    std::uint64_t done = 0;
+    while (done < refs) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(refs - done, engineBatchRefs));
+        const std::size_t got = src.fill({batch_.data(), want});
+        for (std::size_t i = 0; i < got; i++) {
+            const MemRef &ref = batch_[i];
+            instructions += 1 + ref.nonMemGap;
+            if (!l1.accessBaseline<L1Assoc>(ref.addr, ref.op, c1)) {
+                l1_misses++;
+                if (!l2.accessBaseline<L2Assoc>(ref.addr, ref.op, c2))
+                    l2_misses++;
+            }
+        }
+        accesses += got;
+        done += got;
+        if (got < want)
+            break; // end of trace
+    }
+
+    l1.commitBaseline(c1);
+    l2.commitBaseline(c2);
+    hier_.noteBaselineBatch(accesses, l1_misses, l2_misses);
+    s.accesses += accesses;
+    s.instructions += instructions;
+    s.l1Misses += l1_misses;
+    s.l2Misses += l2_misses;
+    s.traffic.add(Traffic::BaseData,
+                  l2_misses * hierConfig_.l1d.lineBytes);
+    return done;
+}
+
+std::uint64_t
+TraceEngine::runBaseline(TraceSource &src, std::uint64_t refs)
+{
+    // Dispatch once per run to a way-scan-unrolled instantiation for
+    // the geometries the experiments actually sweep; anything else
+    // takes the runtime-associativity loop (same semantics).
+    const std::uint32_t a1 = hier_.l1d().config().assoc;
+    const std::uint32_t a2 = hier_.l2().config().assoc;
+    if (a1 == 2 && a2 == 8)
+        return runBaselineLoop<2, 8>(src, refs);
+    if (a1 == 2 && a2 == 16)
+        return runBaselineLoop<2, 16>(src, refs);
+    if (a1 == 4 && a2 == 8)
+        return runBaselineLoop<4, 8>(src, refs);
+    return runBaselineLoop<0, 0>(src, refs);
+}
+
 std::uint64_t
 TraceEngine::run(TraceSource &src, std::uint64_t refs)
 {
-    MemRef ref;
+    if (batch_.size() < engineBatchRefs)
+        batch_.resize(engineBatchRefs);
+
+    // Baseline runs take the trimmed kernel. The prefetchFills guard
+    // keeps it exact even if the caller injected prefetches by hand
+    // (then lines may carry prefetched/meta state the kernel skips).
+    if (pred_ == nullptr && !hierConfig_.perfectL1 &&
+        hier_.l1d().prefetchFills() == 0 &&
+        hier_.l2().prefetchFills() == 0) {
+        return runBaseline(src, refs);
+    }
+
     std::uint64_t done = 0;
-    while (done < refs && src.next(ref)) {
-        step(ref);
-        done++;
+    while (done < refs) {
+        // Clamp the pull to the caller's budget: a multi-programmed
+        // quantum must not consume records its next quantum replays.
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(refs - done, engineBatchRefs));
+        const std::size_t got = src.fill({batch_.data(), want});
+        for (std::size_t i = 0; i < got; i++)
+            step(batch_[i]);
+        done += got;
+        if (got < want)
+            break; // end of trace
     }
     return done;
 }

@@ -28,8 +28,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -120,7 +118,16 @@ class TraceEngine : public CacheListener
     /** Process one reference. */
     void step(const MemRef &ref);
 
-    /** Process up to @p refs references from @p src. */
+    /**
+     * Process up to @p refs references from @p src.
+     *
+     * The batched kernel: references are pulled through
+     * TraceSource::fill() into a reusable buffer and stepped in a
+     * tight non-virtual inner loop, so the per-reference cost is the
+     * cache model itself — no virtual dispatch, no hash probes, no
+     * allocation. Never pulls more than @p refs records (quantum
+     * interleavings replay exactly).
+     */
     std::uint64_t run(TraceSource &src, std::uint64_t refs);
 
     /** Statistics of bucket @p bucket. */
@@ -136,11 +143,18 @@ class TraceEngine : public CacheListener
     /** CacheListener: classifies L1D eviction events. */
     void onEviction(Addr victim_addr, Addr incoming_addr,
                     std::uint32_t set, bool by_prefetch,
-                    bool victim_was_untouched_prefetch) override;
+                    bool victim_was_untouched_prefetch,
+                    std::uint8_t victim_meta) override;
 
   private:
     void issuePrefetch(const PrefetchRequest &req);
     void drainPredictor();
+    /** Trimmed kernel for predictor-less runs (see run()). */
+    std::uint64_t runBaseline(TraceSource &src, std::uint64_t refs);
+    /** runBaseline's loop, specialized per cache associativity. */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    std::uint64_t runBaselineLoop(TraceSource &src,
+                                  std::uint64_t refs);
 
     HierarchyConfig hierConfig_;
     CacheHierarchy hier_;
@@ -148,10 +162,14 @@ class TraceEngine : public CacheListener
     std::vector<CoverageStats> buckets_;
     std::uint32_t current_ = 0;
 
-    /** Blocks evicted by prefetch fills while still live. */
-    std::unordered_set<Addr> earlyMarked_;
-    /** Prefetched blocks fetched off chip, awaiting classification. */
-    std::unordered_map<Addr, bool> fetchedOffChip_;
+    /**
+     * Classification state that used to live here in hash tables
+     * (earlyMarked_, fetchedOffChip_) now rides on the cache lines
+     * themselves as LineMeta* bits plus per-set eviction marks — see
+     * cache/cache.hh. The engine only keeps reusable buffers.
+     */
+    std::vector<MemRef> batch_;           //!< run() pull buffer
+    std::vector<PrefetchRequest> reqBuf_; //!< predictor drain buffer
     /** Listener adapter for L2 (classifies GHB-style L2 prefetches). */
     class L2Listener;
     std::unique_ptr<L2Listener> l2Listener_;

@@ -141,4 +141,17 @@ FileTrace::next(MemRef &out)
     return false;
 }
 
+std::size_t
+FileTrace::fill(std::span<MemRef> out)
+{
+    const std::size_t got = reader_->fill(out);
+    if (got < out.size() && !reader_->ok()) {
+        // Same contract as next(): mid-stream corruption is fatal.
+        ltc_fatal("trace file ", name_, ": ",
+                  traceErrcMessage(reader_->error()), " (",
+                  traceErrcName(reader_->error()), ")");
+    }
+    return got;
+}
+
 } // namespace ltc

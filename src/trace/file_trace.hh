@@ -55,13 +55,14 @@ std::vector<MemRef> readTraceFile(const std::string &path,
  * fatals on an unreadable header (a TraceSource has no error
  * channel); use StreamingTraceReader directly for typed errors.
  */
-class FileTrace : public TraceSource
+class FileTrace final : public TraceSource
 {
   public:
     /** @param name Stats identifier; defaults to "file:<path>". */
     explicit FileTrace(const std::string &path, std::string name = "");
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override { reader_->reset(); }
     std::string name() const override { return name_; }
 

@@ -73,6 +73,16 @@ StridedScanSource::next(MemRef &out)
     return true;
 }
 
+std::size_t
+StridedScanSource::fill(std::span<MemRef> out)
+{
+    // The class is final and next() never ends, so this compiles to a
+    // tight non-virtual generation loop.
+    for (MemRef &ref : out)
+        next(ref);
+    return out.size();
+}
+
 void
 StridedScanSource::reset()
 {
@@ -195,6 +205,14 @@ PointerChaseSource::next(MemRef &out)
     return true;
 }
 
+std::size_t
+PointerChaseSource::fill(std::span<MemRef> out)
+{
+    for (MemRef &ref : out)
+        next(ref);
+    return out.size();
+}
+
 void
 PointerChaseSource::reset()
 {
@@ -269,6 +287,14 @@ TreeWalkSource::next(MemRef &out)
     return true;
 }
 
+std::size_t
+TreeWalkSource::fill(std::span<MemRef> out)
+{
+    for (MemRef &ref : out)
+        next(ref);
+    return out.size();
+}
+
 void
 TreeWalkSource::reset()
 {
@@ -311,6 +337,14 @@ HashProbeSource::next(MemRef &out)
     out.dependsOnPrev = false;
     count_++;
     return true;
+}
+
+std::size_t
+HashProbeSource::fill(std::span<MemRef> out)
+{
+    for (MemRef &ref : out)
+        next(ref);
+    return out.size();
 }
 
 void
@@ -356,6 +390,40 @@ InterleaveSource::next(MemRef &out)
     return false;
 }
 
+std::size_t
+InterleaveSource::fill(std::span<MemRef> out)
+{
+    // Delegate whole chunk remainders to each child's fill(), so the
+    // per-record virtual hop is paid once per chunk, not per record.
+    // End-of-stream mirrors next(): the stream ends once every child
+    // fails to produce in consecutive attempts.
+    std::size_t n = 0;
+    std::size_t failed = 0;
+    while (n < out.size() && failed < children_.size()) {
+        const std::size_t want =
+            std::min<std::size_t>(out.size() - n,
+                                  chunks_[childIdx_] - inChunk_);
+        const std::size_t got =
+            children_[childIdx_]->fill(out.subspan(n, want));
+        n += got;
+        inChunk_ += static_cast<std::uint32_t>(got);
+        if (got < want) {
+            // This child ended; the attempt that discovered it counts
+            // toward the all-children-exhausted condition.
+            failed = got ? 1 : failed + 1;
+            inChunk_ = 0;
+            childIdx_ = (childIdx_ + 1) % children_.size();
+        } else {
+            failed = 0;
+            if (inChunk_ >= chunks_[childIdx_]) {
+                inChunk_ = 0;
+                childIdx_ = (childIdx_ + 1) % children_.size();
+            }
+        }
+    }
+    return n;
+}
+
 void
 InterleaveSource::reset()
 {
@@ -399,6 +467,33 @@ PhaseSequenceSource::next(MemRef &out)
         inPhase_ = lengths_[childIdx_];
     }
     return false;
+}
+
+std::size_t
+PhaseSequenceSource::fill(std::span<MemRef> out)
+{
+    std::size_t n = 0;
+    std::size_t failed = 0;
+    while (n < out.size() && failed < children_.size()) {
+        if (inPhase_ >= lengths_[childIdx_]) {
+            inPhase_ = 0;
+            childIdx_ = (childIdx_ + 1) % children_.size();
+        }
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(out.size() - n,
+                                    lengths_[childIdx_] - inPhase_));
+        const std::size_t got =
+            children_[childIdx_]->fill(out.subspan(n, want));
+        n += got;
+        inPhase_ += got;
+        if (got < want) {
+            failed = got ? 1 : failed + 1;
+            inPhase_ = lengths_[childIdx_]; // child exhausted: move on
+        } else {
+            failed = 0;
+        }
+    }
+    return n;
 }
 
 void

@@ -64,7 +64,7 @@ struct ScanArray
  * the window), producing the perfectly temporally-correlated miss
  * streams of SPECfp loop nests.
  */
-class StridedScanSource : public TraceSource
+class StridedScanSource final : public TraceSource
 {
   public:
     StridedScanSource(std::vector<ScanArray> arrays,
@@ -72,6 +72,7 @@ class StridedScanSource : public TraceSource
                       std::string name = "scan");
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override;
     std::string name() const override { return name_; }
 
@@ -115,13 +116,14 @@ struct PointerChaseParams
  * mutation models data-structure updates that make recorded last-touch
  * signatures stale (Section 3.2).
  */
-class PointerChaseSource : public TraceSource
+class PointerChaseSource final : public TraceSource
 {
   public:
     explicit PointerChaseSource(PointerChaseParams params,
                                 std::string name = "chase");
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override;
     std::string name() const override { return name_; }
 
@@ -166,13 +168,14 @@ struct TreeWalkParams
  * can capture); with a shuffled layout addresses are irregular and
  * only address correlation works (bh-like).
  */
-class TreeWalkSource : public TraceSource
+class TreeWalkSource final : public TraceSource
 {
   public:
     explicit TreeWalkSource(TreeWalkParams params,
                             std::string name = "tree");
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override;
     std::string name() const override { return name_; }
 
@@ -219,13 +222,14 @@ struct HashProbeParams
  * (by construction) no temporal correlation: the gzip/bzip2/twolf
  * class that no address-correlating predictor can cover.
  */
-class HashProbeSource : public TraceSource
+class HashProbeSource final : public TraceSource
 {
   public:
     explicit HashProbeSource(HashProbeParams params,
                              std::string name = "hash");
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override;
     std::string name() const override { return name_; }
 
@@ -243,7 +247,7 @@ class HashProbeSource : public TraceSource
  * interleave — the case where per-stream delta correlation fails but
  * address correlation still works (Section 2).
  */
-class InterleaveSource : public TraceSource
+class InterleaveSource final : public TraceSource
 {
   public:
     InterleaveSource(std::vector<std::unique_ptr<TraceSource>> children,
@@ -251,6 +255,7 @@ class InterleaveSource : public TraceSource
                      std::string name = "interleave");
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override;
     std::string name() const override { return name_; }
 
@@ -267,7 +272,7 @@ class InterleaveSource : public TraceSource
  * next child, cycling forever. Models program phase behaviour
  * (compute phase, update phase, ...).
  */
-class PhaseSequenceSource : public TraceSource
+class PhaseSequenceSource final : public TraceSource
 {
   public:
     PhaseSequenceSource(std::vector<std::unique_ptr<TraceSource>> children,
@@ -275,6 +280,7 @@ class PhaseSequenceSource : public TraceSource
                         std::string name = "phases");
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override;
     std::string name() const override { return name_; }
 

@@ -1,9 +1,26 @@
 #include "trace/trace.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace ltc
 {
+
+namespace
+{
+
+/** Clamp for up-front reservations from caller-supplied bounds. */
+constexpr std::uint64_t maxReserveRecords = std::uint64_t{1} << 20;
+
+std::size_t
+clampReserve(std::uint64_t records)
+{
+    return static_cast<std::size_t>(
+        std::min(records, maxReserveRecords));
+}
+
+} // namespace
 
 VectorTrace::VectorTrace(std::vector<MemRef> refs, std::string name)
     : refs_(std::move(refs)), name_(std::move(name))
@@ -17,6 +34,15 @@ VectorTrace::next(MemRef &out)
         return false;
     out = refs_[pos_++];
     return true;
+}
+
+std::size_t
+VectorTrace::fill(std::span<MemRef> out)
+{
+    const std::size_t take = std::min(out.size(), refs_.size() - pos_);
+    std::copy_n(refs_.data() + pos_, take, out.data());
+    pos_ += take;
+    return take;
 }
 
 LimitSource::LimitSource(std::unique_ptr<TraceSource> inner,
@@ -35,6 +61,16 @@ LimitSource::next(MemRef &out)
         return false;
     produced_++;
     return true;
+}
+
+std::size_t
+LimitSource::fill(std::span<MemRef> out)
+{
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(out.size(), limit_ - produced_));
+    const std::size_t got = inner_->fill(out.first(want));
+    produced_ += got;
+    return got;
 }
 
 void
@@ -59,10 +95,27 @@ ShiftSource::next(MemRef &out)
     return true;
 }
 
-CaptureSource::CaptureSource(std::unique_ptr<TraceSource> inner)
+std::size_t
+ShiftSource::fill(std::span<MemRef> out)
+{
+    const std::size_t got = inner_->fill(out);
+    for (std::size_t i = 0; i < got; i++)
+        out[i].addr += offset_;
+    return got;
+}
+
+CaptureSource::CaptureSource(std::unique_ptr<TraceSource> inner,
+                             std::uint64_t expected_refs)
     : inner_(std::move(inner))
 {
     ltc_assert(inner_ != nullptr, "CaptureSource with null inner source");
+    reserve(expected_refs);
+}
+
+void
+CaptureSource::reserve(std::uint64_t expected_refs)
+{
+    captured_.reserve(clampReserve(expected_refs));
 }
 
 bool
@@ -72,6 +125,14 @@ CaptureSource::next(MemRef &out)
         return false;
     captured_.push_back(out);
     return true;
+}
+
+std::size_t
+CaptureSource::fill(std::span<MemRef> out)
+{
+    const std::size_t got = inner_->fill(out);
+    captured_.insert(captured_.end(), out.data(), out.data() + got);
+    return got;
 }
 
 void
@@ -85,10 +146,18 @@ std::vector<MemRef>
 collect(TraceSource &source, std::uint64_t limit)
 {
     std::vector<MemRef> refs;
-    refs.reserve(limit);
-    MemRef ref;
-    while (refs.size() < limit && source.next(ref))
-        refs.push_back(ref);
+    refs.reserve(clampReserve(limit));
+    while (refs.size() < limit) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(limit - refs.size(), 4096));
+        const std::size_t base = refs.size();
+        refs.resize(base + want);
+        const std::size_t got =
+            source.fill({refs.data() + base, want});
+        refs.resize(base + got);
+        if (got < want)
+            break;
+    }
     return refs;
 }
 

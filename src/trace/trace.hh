@@ -14,6 +14,7 @@
 #define LTC_TRACE_TRACE_HH
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,11 @@ namespace ltc
  * count). reset() restarts the stream from its beginning with identical
  * content — determinism is a hard requirement for reproducible
  * experiments.
+ *
+ * Engines pull references in batches through fill(); next() remains
+ * the convenient scalar form. The two must produce the identical
+ * stream for any interleaving of calls (the batch-equivalence
+ * property test drives every adapter through both paths).
  */
 class TraceSource
 {
@@ -44,6 +50,24 @@ class TraceSource
      */
     virtual bool next(MemRef &out) = 0;
 
+    /**
+     * Produce up to out.size() references into @p out.
+     *
+     * Returns the number of records written; a short return means end
+     * of trace (exactly like next() returning false). The default
+     * implementation loops over next(); concrete sources override it
+     * with batch loops that skip the per-record virtual dispatch —
+     * the simulation engines' hot path.
+     */
+    virtual std::size_t
+    fill(std::span<MemRef> out)
+    {
+        std::size_t n = 0;
+        while (n < out.size() && next(out[n]))
+            n++;
+        return n;
+    }
+
     /** Restart the stream; the replayed content must be identical. */
     virtual void reset() = 0;
 
@@ -52,13 +76,14 @@ class TraceSource
 };
 
 /** Replay of an in-memory vector of references. */
-class VectorTrace : public TraceSource
+class VectorTrace final : public TraceSource
 {
   public:
     explicit VectorTrace(std::vector<MemRef> refs,
                          std::string name = "vector");
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override { pos_ = 0; }
     std::string name() const override { return name_; }
 
@@ -71,12 +96,13 @@ class VectorTrace : public TraceSource
 };
 
 /** Bounds a (possibly infinite) source to at most @c limit records. */
-class LimitSource : public TraceSource
+class LimitSource final : public TraceSource
 {
   public:
     LimitSource(std::unique_ptr<TraceSource> inner, std::uint64_t limit);
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override;
     std::string name() const override { return inner_->name(); }
 
@@ -87,12 +113,13 @@ class LimitSource : public TraceSource
 };
 
 /** Adds a constant byte offset to every address (multi-programming). */
-class ShiftSource : public TraceSource
+class ShiftSource final : public TraceSource
 {
   public:
     ShiftSource(std::unique_ptr<TraceSource> inner, Addr offset);
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override { inner_->reset(); }
     std::string name() const override { return inner_->name(); }
 
@@ -105,14 +132,29 @@ class ShiftSource : public TraceSource
  * Tees every record produced by @c inner into a capture buffer; used
  * by analyses that need to replay the identical stream several times.
  */
-class CaptureSource : public TraceSource
+class CaptureSource final : public TraceSource
 {
   public:
-    explicit CaptureSource(std::unique_ptr<TraceSource> inner);
+    /**
+     * @param expected_refs Capacity hint: reserve the capture buffer
+     *        up front so capture-heavy analyses (Figs. 6/7) do not
+     *        pay reallocation churn while recording. 0 = grow on
+     *        demand (huge hints are clamped; see reserve()).
+     */
+    explicit CaptureSource(std::unique_ptr<TraceSource> inner,
+                           std::uint64_t expected_refs = 0);
 
     bool next(MemRef &out) override;
+    std::size_t fill(std::span<MemRef> out) override;
     void reset() override;
     std::string name() const override { return inner_->name(); }
+
+    /**
+     * Reserve buffer capacity for @p expected_refs records, clamped
+     * to 1M records (a lying bound must not drive a giant up-front
+     * allocation; past the clamp geometric growth takes over).
+     */
+    void reserve(std::uint64_t expected_refs);
 
     const std::vector<MemRef> &captured() const { return captured_; }
     std::vector<MemRef> takeCaptured() { return std::move(captured_); }
@@ -122,7 +164,12 @@ class CaptureSource : public TraceSource
     std::vector<MemRef> captured_;
 };
 
-/** Materialise the first @p limit records of @p source into a vector. */
+/**
+ * Materialise the first @p limit records of @p source into a vector,
+ * pulling in batches through fill(). The result is reserved up front
+ * (clamped like CaptureSource::reserve()), so replay buffers handed
+ * to VectorTrace are right-sized from the start.
+ */
 std::vector<MemRef> collect(TraceSource &source, std::uint64_t limit);
 
 } // namespace ltc

@@ -426,66 +426,127 @@ StreamingTraceReader::fail(TraceErrc errc)
 bool
 StreamingTraceReader::next(MemRef &out)
 {
-    if (bufPos_ >= buffer_.size() && !loadNextChunk())
+    if (bufPos_ >= bufLen_ && !loadNextChunk())
         return false;
     out = buffer_[bufPos_++];
     return true;
 }
 
-bool
-StreamingTraceReader::loadNextChunk()
+std::size_t
+StreamingTraceReader::fill(std::span<MemRef> out)
+{
+    std::size_t n = 0;
+    while (n < out.size()) {
+        if (bufPos_ < bufLen_) {
+            const std::size_t take =
+                std::min(out.size() - n, bufLen_ - bufPos_);
+            std::copy_n(buffer_.data() + bufPos_, take,
+                        out.data() + n);
+            bufPos_ += take;
+            n += take;
+            continue;
+        }
+        if (out.size() - n >= nextChunkBound()) {
+            // The caller's remaining space holds the whole chunk:
+            // decode straight into the batch, no intermediate copy.
+            const std::size_t got = decodeChunk(out.data() + n);
+            if (got == 0)
+                break;
+            n += got;
+        } else if (!loadNextChunk()) {
+            break;
+        }
+    }
+    return n;
+}
+
+std::size_t
+StreamingTraceReader::nextChunkBound() const
+{
+    // readChunkHeader() rejects counts above the chunk capacity or
+    // the header's remaining record count, so their minimum bounds
+    // the next chunk (and keeps a corrupt capacity field from
+    // driving a huge buffer allocation).
+    const std::uint64_t remaining =
+        records_ > consumed_ ? records_ - consumed_ : 0;
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunkRecords_, remaining));
+}
+
+std::size_t
+StreamingTraceReader::decodeChunk(MemRef *dst)
 {
     if (!ok() || !file_)
-        return false;
+        return 0;
     if (consumed_ >= records_)
-        return false; // clean end of trace
-    buffer_.clear();
-    bufPos_ = 0;
+        return 0; // clean end of trace
+    std::size_t got = 0;
 
     if (version_ == 1) {
-        const std::uint64_t want = std::min<std::uint64_t>(
-            records_ - consumed_, v1BufferRecords);
-        std::vector<unsigned char> raw(want * v1RecordBytes);
-        if (std::fread(raw.data(), 1, raw.size(), file_.get()) !=
-            raw.size()) {
-            return fail(TraceErrc::TruncatedChunk);
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(records_ - consumed_,
+                                    v1BufferRecords));
+        rawBuf_.resize(want * v1RecordBytes);
+        if (std::fread(rawBuf_.data(), 1, rawBuf_.size(),
+                       file_.get()) != rawBuf_.size()) {
+            fail(TraceErrc::TruncatedChunk);
+            return 0;
         }
-        buffer_.reserve(want);
-        for (std::uint64_t i = 0; i < want; i++)
-            buffer_.push_back(
-                decodeV1Record(raw.data() + i * v1RecordBytes));
+        for (std::size_t i = 0; i < want; i++)
+            dst[i] = decodeV1Record(rawBuf_.data() + i * v1RecordBytes);
+        got = want;
     } else {
         std::uint32_t count = 0, payload_bytes = 0, checksum = 0;
         TraceErrc errc = readChunkHeader(
             file_.get(), chunkRecords_, records_ - consumed_, count,
             payload_bytes, checksum);
-        if (errc != TraceErrc::Ok)
-            return fail(errc);
-        std::vector<unsigned char> payload(payload_bytes);
-        if (std::fread(payload.data(), 1, payload.size(),
-                       file_.get()) != payload.size()) {
-            return fail(TraceErrc::TruncatedChunk);
+        if (errc != TraceErrc::Ok) {
+            fail(errc);
+            return 0;
         }
-        if (fnv1a32(payload.data(), payload.size()) != checksum)
-            return fail(TraceErrc::ChecksumMismatch);
-        buffer_.reserve(count);
-        const unsigned char *p = payload.data();
-        const unsigned char *end = p + payload.size();
+        rawBuf_.resize(payload_bytes);
+        if (std::fread(rawBuf_.data(), 1, rawBuf_.size(),
+                       file_.get()) != rawBuf_.size()) {
+            fail(TraceErrc::TruncatedChunk);
+            return 0;
+        }
+        if (fnv1a32(rawBuf_.data(), rawBuf_.size()) != checksum) {
+            fail(TraceErrc::ChecksumMismatch);
+            return 0;
+        }
+        const unsigned char *p = rawBuf_.data();
+        const unsigned char *end = p + rawBuf_.size();
         Addr prev_pc = 0, prev_addr = 0;
         for (std::uint32_t i = 0; i < count; i++) {
-            MemRef ref;
-            if (!(p = decodeRecord(p, end, ref, prev_pc, prev_addr)))
-                return fail(TraceErrc::MalformedRecord);
-            buffer_.push_back(ref);
+            if (!(p = decodeRecord(p, end, dst[i], prev_pc,
+                                   prev_addr))) {
+                fail(TraceErrc::MalformedRecord);
+                return 0;
+            }
         }
-        if (p != end)
-            return fail(TraceErrc::MalformedRecord); // trailing bytes
+        if (p != end) {
+            fail(TraceErrc::MalformedRecord); // trailing bytes
+            return 0;
+        }
+        got = count;
     }
 
-    consumed_ += buffer_.size();
+    consumed_ += got;
     chunksRead_++;
-    maxBuffered_ = std::max(maxBuffered_, buffer_.size());
-    return !buffer_.empty();
+    return got;
+}
+
+bool
+StreamingTraceReader::loadNextChunk()
+{
+    bufPos_ = 0;
+    bufLen_ = 0;
+    const std::size_t bound = nextChunkBound();
+    if (buffer_.size() < bound)
+        buffer_.resize(bound);
+    bufLen_ = decodeChunk(buffer_.data());
+    maxBuffered_ = std::max(maxBuffered_, bufLen_);
+    return bufLen_ != 0;
 }
 
 void
@@ -501,7 +562,7 @@ StreamingTraceReader::reset()
         fail(TraceErrc::TruncatedChunk);
         return;
     }
-    buffer_.clear();
+    bufLen_ = 0;
     bufPos_ = 0;
     consumed_ = 0;
 }
@@ -592,11 +653,17 @@ captureToFile(TraceSource &source, const std::string &path,
 {
     StreamingTraceWriter writer(path, chunk_records);
     source.reset();
-    MemRef ref;
-    for (std::uint64_t i = 0; i < refs && writer.ok(); i++) {
-        if (!source.next(ref))
+    std::vector<MemRef> batch(4096);
+    std::uint64_t remaining = refs;
+    while (remaining > 0 && writer.ok()) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, batch.size()));
+        const std::size_t got = source.fill({batch.data(), want});
+        for (std::size_t i = 0; i < got; i++)
+            writer.append(batch[i]);
+        remaining -= got;
+        if (got < want)
             break;
-        writer.append(ref);
     }
     if (out_written)
         *out_written = writer.written();

@@ -29,6 +29,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -194,6 +195,16 @@ class StreamingTraceReader
      */
     bool next(MemRef &out);
 
+    /**
+     * Produce up to out.size() records into @p out (the batch form
+     * of next(); FileTrace's hot path). Drains any buffered records
+     * first; once the caller's remaining space can hold a whole
+     * chunk, chunks are decoded directly into the caller's batch,
+     * skipping the intermediate buffer entirely. A short return
+     * means end of trace (error() == Ok) or failure.
+     */
+    std::size_t fill(std::span<MemRef> out);
+
     /** Rewind to the first record; keeps high-water statistics. */
     void reset();
 
@@ -204,6 +215,14 @@ class StreamingTraceReader
 
   private:
     bool loadNextChunk();
+    /**
+     * Decode the next chunk into @p dst, which must have room for
+     * nextChunkBound() records. Returns the record count (0 on clean
+     * end of trace or failure; error() disambiguates).
+     */
+    std::size_t decodeChunk(MemRef *dst);
+    /** Upper bound on the next chunk's record count. */
+    std::size_t nextChunkBound() const;
     bool fail(TraceErrc errc);
 
     std::string path_;
@@ -215,8 +234,10 @@ class StreamingTraceReader
     std::uint32_t chunkRecords_ = 0;
     long dataStart_ = 0;
 
-    std::vector<MemRef> buffer_;
+    std::vector<MemRef> buffer_;   //!< decoded records (first bufLen_)
+    std::size_t bufLen_ = 0;       //!< live records in buffer_
     std::size_t bufPos_ = 0;
+    std::vector<unsigned char> rawBuf_; //!< encoded-chunk scratch
     std::uint64_t consumed_ = 0; //!< records handed out + buffered
     std::size_t maxBuffered_ = 0;
     std::uint64_t chunksRead_ = 0;

@@ -37,15 +37,17 @@ struct Recorder : CacheListener
         std::uint32_t set;
         bool byPrefetch;
         bool victimUntouched;
+        std::uint8_t victimMeta;
     };
     std::vector<Event> events;
 
     void
     onEviction(Addr victim, Addr incoming, std::uint32_t set,
-               bool by_prefetch, bool untouched) override
+               bool by_prefetch, bool untouched,
+               std::uint8_t victim_meta) override
     {
         events.push_back({victim, incoming, set, by_prefetch,
-                          untouched});
+                          untouched, victim_meta});
     }
 };
 
