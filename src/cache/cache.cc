@@ -58,12 +58,6 @@ Cache::fill(Addr addr, bool mark_prefetched)
 }
 
 bool
-Cache::probe(Addr addr) const
-{
-    return findIndex(addr) != noWay;
-}
-
-bool
 Cache::invalidate(Addr addr)
 {
     const std::size_t idx = findIndex(addr);

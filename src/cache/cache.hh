@@ -106,7 +106,16 @@ class Cache
      * innermost call of the engines' batched run loops, and inlining
      * the whole lookup/insert chain there is worth ~2x simulator
      * throughput.
+     *
+     * @tparam StaticAssoc Compile-time associativity, or 0 (the
+     *         default) to read it from the configuration. The
+     *         engines' batched kernels dispatch to a non-zero
+     *         instantiation for the common geometries so the compiler
+     *         unrolls the way scans (the same contract as
+     *         accessBaseline); callers must pass either 0 or exactly
+     *         config().assoc.
      */
+    template <std::uint32_t StaticAssoc = 0>
     CacheOutcome access(Addr addr, MemOp op);
 
     /**
@@ -182,8 +191,11 @@ class Cache
      */
     CacheOutcome fill(Addr addr, bool mark_prefetched = true);
 
-    /** Non-mutating residence check. */
-    bool probe(Addr addr) const;
+    /**
+     * Non-mutating residence check. Inline: the timing engine's
+     * prefetch enqueue/issue filters probe both levels per request.
+     */
+    bool probe(Addr addr) const { return findIndex(addr) != noWay; }
 
     /** Invalidate @p addr if resident; returns true if it was. */
     bool invalidate(Addr addr);
@@ -311,6 +323,8 @@ class Cache
 
     /** Index of @p addr's line in tagFlags_/stamps_; noWay if absent. */
     std::size_t findIndex(Addr addr) const;
+    /** @tparam StaticAssoc 0 or exactly config().assoc (see access). */
+    template <std::uint32_t StaticAssoc = 0>
     std::uint32_t victimWay(std::uint32_t set);
     CacheOutcome insert(std::uint64_t tag, std::uint32_t set,
                         std::uint32_t way, bool by_prefetch,
@@ -362,22 +376,24 @@ Cache::findIndex(Addr addr) const
     return noWay;
 }
 
+template <std::uint32_t StaticAssoc>
 inline std::uint32_t
 Cache::victimWay(std::uint32_t set)
 {
-    const std::size_t base =
-        static_cast<std::size_t>(set) * config_.assoc;
+    const std::uint32_t assoc =
+        StaticAssoc ? StaticAssoc : config_.assoc;
+    const std::size_t base = static_cast<std::size_t>(set) * assoc;
     // Prefer an invalid way.
-    for (std::uint32_t w = 0; w < config_.assoc; w++) {
+    for (std::uint32_t w = 0; w < assoc; w++) {
         if (!(tagFlags_[base + w] & lineValid))
             return w;
     }
     if (config_.policy == ReplPolicy::Random)
-        return static_cast<std::uint32_t>(rng_.below(config_.assoc));
+        return static_cast<std::uint32_t>(rng_.below(assoc));
     // LRU and FIFO both evict the minimum stamp; they differ only in
     // when the stamp is written (every use vs fill only).
     std::uint32_t victim = 0;
-    for (std::uint32_t w = 1; w < config_.assoc; w++) {
+    for (std::uint32_t w = 1; w < assoc; w++) {
         if (stamps_[base + w] < stamps_[base + victim])
             victim = w;
     }
@@ -411,18 +427,20 @@ Cache::insert(std::uint64_t tag, std::uint32_t set, std::uint32_t way,
     return out;
 }
 
+template <std::uint32_t StaticAssoc>
 inline CacheOutcome
 Cache::access(Addr addr, MemOp op)
 {
     accesses_++;
+    const std::uint32_t assoc =
+        StaticAssoc ? StaticAssoc : config_.assoc;
     const std::uint64_t tag = tagOf(addr);
     const std::uint32_t set =
         static_cast<std::uint32_t>((addr >> lineBits_) & setMask_);
     const std::uint64_t want = (tag << tagShift) | lineValid;
-    const std::size_t base =
-        static_cast<std::size_t>(set) * config_.assoc;
+    const std::size_t base = static_cast<std::size_t>(set) * assoc;
 
-    for (std::uint32_t w = 0; w < config_.assoc; w++) {
+    for (std::uint32_t w = 0; w < assoc; w++) {
         const std::uint64_t tf = tagFlags_[base + w];
         if ((tf & ~(lineDirty | linePrefetched | lineMetaMask)) != want)
             continue;
@@ -442,7 +460,7 @@ Cache::access(Addr addr, MemOp op)
     }
 
     misses_++;
-    return insert(tag, set, victimWay(set), false, false,
+    return insert(tag, set, victimWay<StaticAssoc>(set), false, false,
                   op == MemOp::Store);
 }
 

@@ -14,6 +14,8 @@
 #define LTC_CACHE_HIERARCHY_HH
 
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 
 #include "cache/cache.hh"
 #include "cache/cache_config.hh"
@@ -21,6 +23,40 @@
 
 namespace ltc
 {
+
+/**
+ * The engines' static-associativity dispatch table, in one place:
+ * invoke @p f with two std::integral_constant associativities — a
+ * way-scan-unrolled instantiation for the (L1, L2) geometries the
+ * experiments actually sweep, or (0, 0) (read the configuration at
+ * runtime) for anything else. Both engines route their batched
+ * kernels through this, so adding a geometry here extends every
+ * kernel at once.
+ */
+template <typename F>
+auto
+dispatchByAssociativity(std::uint32_t l1_assoc, std::uint32_t l2_assoc,
+                        F &&f)
+{
+    using std::integral_constant;
+    if (l1_assoc == 2 && l2_assoc == 8) {
+        return std::forward<F>(f)(
+            integral_constant<std::uint32_t, 2>{},
+            integral_constant<std::uint32_t, 8>{});
+    }
+    if (l1_assoc == 2 && l2_assoc == 16) {
+        return std::forward<F>(f)(
+            integral_constant<std::uint32_t, 2>{},
+            integral_constant<std::uint32_t, 16>{});
+    }
+    if (l1_assoc == 4 && l2_assoc == 8) {
+        return std::forward<F>(f)(
+            integral_constant<std::uint32_t, 4>{},
+            integral_constant<std::uint32_t, 8>{});
+    }
+    return std::forward<F>(f)(integral_constant<std::uint32_t, 0>{},
+                              integral_constant<std::uint32_t, 0>{});
+}
 
 /** Configuration for the two-level hierarchy. */
 struct HierarchyConfig
@@ -84,7 +120,14 @@ class CacheHierarchy
      * Demand access from the core. Defined inline below — together
      * with the inline Cache::access it forms the engines' tight
      * per-reference inner loop.
+     *
+     * @tparam L1Assoc,L2Assoc Compile-time associativities for the
+     *         way scans, or 0 (the default) to read them from the
+     *         configurations. The engines' batched kernels dispatch
+     *         to matching non-zero instantiations (the same contract
+     *         as Cache::access / Cache::accessBaseline).
      */
+    template <std::uint32_t L1Assoc = 0, std::uint32_t L2Assoc = 0>
     HierOutcome access(Addr addr, MemOp op);
 
     /**
@@ -129,6 +172,7 @@ class CacheHierarchy
     std::uint64_t l2Misses_ = 0;
 };
 
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
 inline HierOutcome
 CacheHierarchy::access(Addr addr, MemOp op)
 {
@@ -140,7 +184,7 @@ CacheHierarchy::access(Addr addr, MemOp op)
         return out;
     }
 
-    const CacheOutcome l1 = l1d_.access(addr, op);
+    const CacheOutcome l1 = l1d_.access<L1Assoc>(addr, op);
     out.l1Set = l1.set;
     if (l1.hit) {
         out.level = HitLevel::L1;
@@ -153,7 +197,7 @@ CacheHierarchy::access(Addr addr, MemOp op)
     out.l1VictimAddr = l1.victimAddr;
     l1Misses_++;
 
-    const CacheOutcome l2 = l2_.access(addr, op);
+    const CacheOutcome l2 = l2_.access<L2Assoc>(addr, op);
     if (l2.hit) {
         out.level = HitLevel::L2;
         out.l2HitOnPrefetch = l2.hitUntouchedPrefetch;

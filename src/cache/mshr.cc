@@ -1,9 +1,5 @@
 #include "cache/mshr.hh"
 
-#include <algorithm>
-
-#include "util/logging.hh"
-
 namespace ltc
 {
 
@@ -13,49 +9,28 @@ MshrFile::MshrFile(std::uint32_t capacity) : capacity_(capacity)
     entries_.reserve(capacity_);
 }
 
-Cycle
-MshrFile::allocReadyAt(Cycle now) const
-{
-    if (entries_.size() < capacity_)
-        return now;
-    Cycle earliest = entries_.front().completion;
-    for (const Entry &e : entries_)
-        earliest = std::min(earliest, e.completion);
-    return std::max(now, earliest);
-}
-
 void
-MshrFile::allocate(Addr block_addr, Cycle start, Cycle completion)
-{
-    // Entries completing at or before the allocation time are free.
-    retire(start);
-    ltc_assert(entries_.size() < capacity_,
-               "MSHR allocate with full file; consult allocReadyAt");
-    entries_.push_back({block_addr, completion});
-    peak_ = std::max<std::uint32_t>(
-        peak_, static_cast<std::uint32_t>(entries_.size()));
-}
-
-std::optional<Cycle>
-MshrFile::lookup(Addr block_addr) const
-{
-    for (const Entry &e : entries_)
-        if (e.blockAddr == block_addr)
-            return e.completion;
-    return std::nullopt;
-}
-
-void
-MshrFile::retire(Cycle now)
+MshrFile::retireSlow(Cycle now)
 {
     std::erase_if(entries_,
                   [now](const Entry &e) { return e.completion <= now; });
+    // Rebuild the earliest-completion cache and the presence filter
+    // from the survivors (the only point where filter bits clear).
+    Cycle earliest = noEarliest;
+    present_.fill(0);
+    for (const Entry &e : entries_) {
+        earliest = std::min(earliest, e.completion);
+        present_[maskWord(e.blockAddr)] |= maskBit(e.blockAddr);
+    }
+    earliest_ = earliest;
 }
 
 void
 MshrFile::clear()
 {
     entries_.clear();
+    earliest_ = noEarliest;
+    present_.fill(0);
 }
 
 } // namespace ltc

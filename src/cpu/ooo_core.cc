@@ -16,74 +16,6 @@ OooCore::OooCore(const CoreConfig &config) : config_(config)
     lsqRing_.assign(config_.lsqSize, 0);
 }
 
-OooCore::Slot
-OooCore::robConstraint() const
-{
-    // Instruction k occupies the slot freed when instruction
-    // k - robSize retires; the ring stores retire slots in insert
-    // order, so the head entry is the blocking one.
-    return robRing_[robHead_];
-}
-
-OooCore::Slot
-OooCore::lsqConstraint() const
-{
-    return lsqRing_[lsqHead_];
-}
-
-void
-OooCore::retireAt(Slot completion_slot)
-{
-    // In-order retirement, one slot (1/width cycle) per instruction.
-    const Slot retire = std::max(completion_slot, lastRetire_ + 1);
-    lastRetire_ = retire;
-    robRing_[robHead_] = retire;
-    robHead_ = (robHead_ + 1) % config_.robSize;
-}
-
-void
-OooCore::issueNonMem(std::uint32_t count)
-{
-    ltc_assert(!memPending_, "issueNonMem with memory access pending");
-    for (std::uint32_t i = 0; i < count; i++) {
-        const Slot issue = std::max(frontier_, robConstraint());
-        frontier_ = issue + 1;
-        const Slot complete =
-            issue + config_.aluLatency * config_.width;
-        retireAt(complete);
-        instructions_++;
-    }
-}
-
-Cycle
-OooCore::beginMem()
-{
-    ltc_assert(!memPending_, "beginMem with memory access pending");
-    const Slot issue =
-        std::max({frontier_, robConstraint(), lsqConstraint()});
-    memPending_ = true;
-    pendingIssueSlot_ = issue;
-    // Round up: the address is available at the end of the issue
-    // cycle.
-    return issue / config_.width;
-}
-
-void
-OooCore::completeMem(Cycle completion)
-{
-    ltc_assert(memPending_, "completeMem without beginMem");
-    const Slot completion_slot = completion * config_.width;
-    ltc_assert(completion_slot >= pendingIssueSlot_,
-               "memory completes before it issues");
-    frontier_ = pendingIssueSlot_ + 1;
-    retireAt(completion_slot);
-    lsqRing_[lsqHead_] = lastRetire_;
-    lsqHead_ = (lsqHead_ + 1) % config_.lsqSize;
-    instructions_++;
-    memInstructions_++;
-    memPending_ = false;
-}
-
 Cycle
 OooCore::finishCycle() const
 {

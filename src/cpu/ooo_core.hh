@@ -23,10 +23,12 @@
 #ifndef LTC_CPU_OOO_CORE_HH
 #define LTC_CPU_OOO_CORE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "cpu/core_config.hh"
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace ltc
@@ -39,7 +41,9 @@ class OooCore
 
     /**
      * Issue @p count single-cycle non-memory instructions. They occupy
-     * issue bandwidth and ROB slots but never stall on data.
+     * issue bandwidth and ROB slots but never stall on data. Defined
+     * inline below: the engines call this once per trace record, and
+     * the per-instruction ring bookkeeping is the hot loop.
      */
     void issueNonMem(std::uint32_t count);
 
@@ -101,6 +105,84 @@ class OooCore
     InstCount intervalInstBase_ = 0;
     Cycle intervalCycleBase_ = 0;
 };
+
+// ------------------------------------------------------ hot path
+//
+// issueNonMem/beginMem/completeMem run once per trace record inside
+// the engines' batched loops; they are defined inline here so the
+// whole issue/retire chain compiles into the loop. The ring indices
+// advance by exactly one per retirement, so the wrap is a compare
+// (the old modulo was an integer division per instruction).
+
+inline OooCore::Slot
+OooCore::robConstraint() const
+{
+    // Instruction k occupies the slot freed when instruction
+    // k - robSize retires; the ring stores retire slots in insert
+    // order, so the head entry is the blocking one.
+    return robRing_[robHead_];
+}
+
+inline OooCore::Slot
+OooCore::lsqConstraint() const
+{
+    return lsqRing_[lsqHead_];
+}
+
+inline void
+OooCore::retireAt(Slot completion_slot)
+{
+    // In-order retirement, one slot (1/width cycle) per instruction.
+    const Slot retire = std::max(completion_slot, lastRetire_ + 1);
+    lastRetire_ = retire;
+    robRing_[robHead_] = retire;
+    if (++robHead_ == config_.robSize)
+        robHead_ = 0;
+}
+
+inline void
+OooCore::issueNonMem(std::uint32_t count)
+{
+    ltc_assert(!memPending_, "issueNonMem with memory access pending");
+    const Slot alu_slots =
+        static_cast<Slot>(config_.aluLatency) * config_.width;
+    for (std::uint32_t i = 0; i < count; i++) {
+        const Slot issue = std::max(frontier_, robConstraint());
+        frontier_ = issue + 1;
+        retireAt(issue + alu_slots);
+    }
+    instructions_ += count;
+}
+
+inline Cycle
+OooCore::beginMem()
+{
+    ltc_assert(!memPending_, "beginMem with memory access pending");
+    const Slot issue =
+        std::max({frontier_, robConstraint(), lsqConstraint()});
+    memPending_ = true;
+    pendingIssueSlot_ = issue;
+    // Round up: the address is available at the end of the issue
+    // cycle.
+    return issue / config_.width;
+}
+
+inline void
+OooCore::completeMem(Cycle completion)
+{
+    ltc_assert(memPending_, "completeMem without beginMem");
+    const Slot completion_slot = completion * config_.width;
+    ltc_assert(completion_slot >= pendingIssueSlot_,
+               "memory completes before it issues");
+    frontier_ = pendingIssueSlot_ + 1;
+    retireAt(completion_slot);
+    lsqRing_[lsqHead_] = lastRetire_;
+    if (++lsqHead_ == config_.lsqSize)
+        lsqHead_ = 0;
+    instructions_++;
+    memInstructions_++;
+    memPending_ = false;
+}
 
 } // namespace ltc
 

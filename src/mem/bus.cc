@@ -36,25 +36,6 @@ Bus::Bus(const BusConfig &config) : config_(config)
                "bus with zero clock ratio");
 }
 
-Cycle
-Bus::transfer(Cycle ready, std::uint32_t bytes)
-{
-    const Cycle start = std::max(ready, busyUntil_);
-    const Cycle occ = config_.occupancy(bytes);
-    queueCycles_ += start - ready;
-    busyUntil_ = start + occ;
-    busyCycles_ += occ;
-    bytesMoved_ += bytes;
-    transfers_++;
-    return busyUntil_;
-}
-
-Cycle
-Bus::freeAt(Cycle now) const
-{
-    return std::max(now, busyUntil_);
-}
-
 double
 Bus::utilization(Cycle horizon) const
 {

@@ -13,6 +13,7 @@
 #ifndef LTC_MEM_BUS_HH
 #define LTC_MEM_BUS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -58,12 +59,35 @@ class Bus
 
     /**
      * Schedule a transfer of @p bytes that becomes ready at @p ready.
+     * Defined inline below: the timing engine charges several
+     * transfers per miss, so this sits on the batched kernel's
+     * per-event path.
      * @return Core cycle at which the transfer completes.
      */
     Cycle transfer(Cycle ready, std::uint32_t bytes);
 
+    /**
+     * transfer() with the occupancy precomputed by the caller:
+     * @p occ MUST equal config().occupancy(bytes). The timing
+     * engine's miss path moves fixed-size transfers (a request or
+     * one cache block), so hoisting the occupancy division out of
+     * the per-event path is free; any other caller should use
+     * transfer().
+     */
+    Cycle
+    transferPrecomputed(Cycle ready, std::uint32_t bytes, Cycle occ)
+    {
+        const Cycle start = std::max(ready, busyUntil_);
+        queueCycles_ += start - ready;
+        busyUntil_ = start + occ;
+        busyCycles_ += occ;
+        bytesMoved_ += bytes;
+        transfers_++;
+        return busyUntil_;
+    }
+
     /** Earliest cycle >= @p now at which the bus is free. */
-    Cycle freeAt(Cycle now) const;
+    Cycle freeAt(Cycle now) const { return std::max(now, busyUntil_); }
 
     /** True if a transfer starting at @p now would not queue. */
     bool isFree(Cycle now) const { return busyUntil_ <= now; }
@@ -92,6 +116,13 @@ class Bus
     std::uint64_t bytesMoved_ = 0;
     std::uint64_t transfers_ = 0;
 };
+
+inline Cycle
+Bus::transfer(Cycle ready, std::uint32_t bytes)
+{
+    return transferPrecomputed(ready, bytes,
+                               config_.occupancy(bytes));
+}
 
 } // namespace ltc
 

@@ -7,18 +7,4 @@ DramModel::DramModel(const DramConfig &config) : config_(config)
 {
 }
 
-Cycle
-DramModel::read(std::uint32_t bytes)
-{
-    bytesRead_ += bytes;
-    return latency(bytes);
-}
-
-Cycle
-DramModel::write(std::uint32_t bytes)
-{
-    bytesWritten_ += bytes;
-    return latency(bytes);
-}
-
 } // namespace ltc

@@ -46,9 +46,27 @@ class DramModel
     }
 
     /** Record a read of @p bytes and return its latency. */
-    Cycle read(std::uint32_t bytes);
+    Cycle
+    read(std::uint32_t bytes)
+    {
+        bytesRead_ += bytes;
+        return latency(bytes);
+    }
+
+    /**
+     * Record a read of @p bytes whose latency the caller computed
+     * once up front (the timing engine reads whole cache blocks, so
+     * the latency is a per-run constant).
+     */
+    void noteRead(std::uint32_t bytes) { bytesRead_ += bytes; }
+
     /** Record a write of @p bytes and return its latency. */
-    Cycle write(std::uint32_t bytes);
+    Cycle
+    write(std::uint32_t bytes)
+    {
+        bytesWritten_ += bytes;
+        return latency(bytes);
+    }
 
     const DramConfig &config() const { return config_; }
     std::uint64_t bytesRead() const { return bytesRead_; }

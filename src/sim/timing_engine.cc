@@ -14,6 +14,12 @@ TimingSim::TimingSim(const TimingConfig &config, Prefetcher *pred)
       memData_(config.memBus), pfPace_(config.memBus),
       metaBus_(config.memBus), dram_(config.dram), pred_(pred)
 {
+    const std::uint32_t line = config_.hier.l1d.lineBytes;
+    l1l2ReqOcc_ = config_.l1l2Bus.occupancy(0);
+    l1l2LineOcc_ = config_.l1l2Bus.occupancy(line);
+    memReqOcc_ = config_.memBus.occupancy(0);
+    memLineOcc_ = config_.memBus.occupancy(line);
+    dramLineLat_ = dram_.latency(line);
     hier_.l1d().setListener(this);
 }
 
@@ -60,22 +66,26 @@ TimingSim::missCompletion(Addr block, HitLevel level, Cycle ready)
     // Request leaves L1 after its lookup latency, crosses the L1/L2
     // bus (request phase only), then either hits in L2 or continues
     // to memory; the data crosses the L1/L2 bus on the way back.
+    const std::uint32_t line = config_.hier.l1d.lineBytes;
     const Cycle req_start = ready + config_.hier.l1d.latency;
-    const Cycle req_done = l1l2Req_.transfer(req_start, 0);
+    const Cycle req_done =
+        l1l2Req_.transferPrecomputed(req_start, 0, l1l2ReqOcc_);
 
     Cycle data_ready;
     if (level == HitLevel::L2) {
         data_ready = req_done + config_.hier.l2.latency;
     } else {
         // L2 lookup (miss) then the memory round trip.
-        const Cycle mem_req =
-            memReq_.transfer(req_done + config_.hier.l2.latency, 0);
-        data_ready = mem_req + dram_.read(config_.hier.l1d.lineBytes);
+        const Cycle mem_req = memReq_.transferPrecomputed(
+            req_done + config_.hier.l2.latency, 0, memReqOcc_);
+        dram_.noteRead(line);
+        data_ready = mem_req + dramLineLat_;
         // Block transfer over the memory data bus.
-        data_ready =
-            memData_.transfer(data_ready, config_.hier.l1d.lineBytes);
+        data_ready = memData_.transferPrecomputed(data_ready, line,
+                                                  memLineOcc_);
     }
-    return l1l2Data_.transfer(data_ready, config_.hier.l1d.lineBytes);
+    return l1l2Data_.transferPrecomputed(data_ready, line,
+                                         l1l2LineOcc_);
 }
 
 void
@@ -85,7 +95,7 @@ TimingSim::enqueuePrefetch(const PrefetchRequest &req)
     // already in flight) would waste request-queue slots and issue
     // bandwidth; real prefetchers filter them against the tag array.
     const Addr block = hier_.l1d().blockAlign(req.target);
-    if (inflight_.count(block))
+    if (!inflight_.empty() && inflight_.count(block))
         return;
     if (req.intoL1 ? hier_.l1d().probe(block) : hier_.l2().probe(block))
         return;
@@ -128,7 +138,8 @@ TimingSim::drainPrefetchQueue(Cycle now)
             break;
         const PrefetchRequest req = prefetchQueue_.front();
         prefetchQueue_.pop_front();
-        pfPace_.transfer(slot, config_.hier.l1d.lineBytes);
+        pfPace_.transferPrecomputed(slot, config_.hier.l1d.lineBytes,
+                                    memLineOcc_);
         issuePrefetch(req, slot);
     }
 }
@@ -153,21 +164,24 @@ TimingSim::issuePrefetch(const PrefetchRequest &req, Cycle now)
     }
 
     const bool l2_hit = hier_.l2().probe(block);
-    const Cycle req_done = l1l2Req_.transfer(now, 0);
+    const std::uint32_t line = config_.hier.l1d.lineBytes;
+    const Cycle req_done =
+        l1l2Req_.transferPrecomputed(now, 0, l1l2ReqOcc_);
     Cycle data_ready;
     if (l2_hit) {
         data_ready = req_done + config_.hier.l2.latency;
     } else {
-        const Cycle mem_req =
-            memReq_.transfer(req_done + config_.hier.l2.latency, 0);
-        data_ready = mem_req + dram_.read(config_.hier.l1d.lineBytes);
-        data_ready =
-            memData_.transfer(data_ready, config_.hier.l1d.lineBytes);
+        const Cycle mem_req = memReq_.transferPrecomputed(
+            req_done + config_.hier.l2.latency, 0, memReqOcc_);
+        dram_.noteRead(line);
+        data_ready = mem_req + dramLineLat_;
+        data_ready = memData_.transferPrecomputed(data_ready, line,
+                                                  memLineOcc_);
     }
 
     if (req.intoL1) {
-        const Cycle complete =
-            l1l2Data_.transfer(data_ready, config_.hier.l1d.lineBytes);
+        const Cycle complete = l1l2Data_.transferPrecomputed(
+            data_ready, line, l1l2LineOcc_);
         const PrefetchOutcome out =
             hier_.prefetch(req.target, req.predictedVictim);
         if (out.alreadyInL1)
@@ -225,14 +239,18 @@ TimingSim::step(const MemRef &ref)
     Cycle complete;
     if (out.l1Hit()) {
         complete = ready + config_.hier.l1d.latency;
-        // The block may be present functionally but still in flight.
-        auto it = inflight_.find(block);
-        if (it != inflight_.end()) {
-            if (it->second > complete) {
-                complete = it->second;
-                running_.partial++;
+        // The block may be present functionally but still in flight
+        // (the empty() guard keeps baseline and post-drain streams
+        // from paying the hash probe).
+        if (!inflight_.empty()) {
+            auto it = inflight_.find(block);
+            if (it != inflight_.end()) {
+                if (it->second > complete) {
+                    complete = it->second;
+                    running_.partial++;
+                }
+                inflight_.erase(it);
             }
-            inflight_.erase(it);
         }
         if (out.l1HitOnPrefetch) {
             running_.correct++;
@@ -274,11 +292,13 @@ TimingSim::step(const MemRef &ref)
 
         // An L2 prefetch still in flight partially hides the L2 hit.
         Cycle inflight_floor = 0;
-        auto it = inflight_.find(block);
-        if (it != inflight_.end()) {
-            inflight_floor = it->second;
-            running_.partial++;
-            inflight_.erase(it);
+        if (!inflight_.empty()) {
+            auto it = inflight_.find(block);
+            if (it != inflight_.end()) {
+                inflight_floor = it->second;
+                running_.partial++;
+                inflight_.erase(it);
+            }
         }
 
         if (auto merged = mshrs_.lookup(block)) {
@@ -310,16 +330,130 @@ TimingSim::step(const MemRef &ref)
     }
 }
 
+/**
+ * How many references run() pulls per fill() call (matches the trace
+ * engine's batch: large enough to amortize the virtual hop, small
+ * enough to stay L1-resident).
+ */
+constexpr std::size_t timingBatchRefs = 256;
+
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
 std::uint64_t
-TimingSim::run(TraceSource &src, std::uint64_t refs)
+TimingSim::runBaselineLoop(TraceSource &src, std::uint64_t refs)
 {
-    constexpr std::size_t batch_refs = 256;
-    if (batch_.size() < batch_refs)
-        batch_.resize(batch_refs);
+    // See the declaration comment: step() with no predictor attached
+    // and no prefetch state in the hierarchy degenerates to the
+    // core/MSHR/bus event sequence below. Counters live in locals for
+    // the whole run (the caches' via BaselineCursor) and state is
+    // reconciled afterwards; the associativity template arguments let
+    // the compiler unroll the way scans for the common geometries.
+    Cache &l1 = hier_.l1d();
+    Cache &l2 = hier_.l2();
+    Cache::BaselineCursor c1 = l1.baselineCursor();
+    Cache::BaselineCursor c2 = l2.baselineCursor();
+    const Cycle l1_lat = config_.hier.l1d.latency;
+    std::uint64_t accesses = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_misses = 0;
+    Cycle miss_latency = 0;
+    Cycle last_load = lastLoadComplete_;
+
     std::uint64_t done = 0;
     while (done < refs) {
         const std::size_t want = static_cast<std::size_t>(
-            std::min<std::uint64_t>(refs - done, batch_refs));
+            std::min<std::uint64_t>(refs - done, timingBatchRefs));
+        const std::size_t got = src.fill({batch_.data(), want});
+        for (std::size_t i = 0; i < got; i++) {
+            const MemRef &ref = batch_[i];
+            core_.issueNonMem(ref.nonMemGap);
+            const Cycle issue = core_.beginMem();
+            Cycle ready = issue;
+            if (ref.dependsOnPrev)
+                ready = std::max(ready, last_load);
+
+            Cycle complete;
+            if (l1.accessBaseline<L1Assoc>(ref.addr, ref.op, c1)) {
+                complete = ready + l1_lat;
+            } else {
+                l1_misses++;
+                const bool l2_hit =
+                    l2.accessBaseline<L2Assoc>(ref.addr, ref.op, c2);
+                if (!l2_hit)
+                    l2_misses++;
+                const Addr block = l1.blockAlign(ref.addr);
+                if (auto merged = mshrs_.lookup(block)) {
+                    mshrs_.noteMerge();
+                    complete = std::max(*merged, ready + l1_lat);
+                } else {
+                    const Cycle alloc = mshrs_.allocReadyAt(ready);
+                    complete = missCompletion(
+                        block, l2_hit ? HitLevel::L2 : HitLevel::Memory,
+                        alloc);
+                    mshrs_.allocate(block, alloc, complete);
+                }
+                miss_latency += complete - ready;
+            }
+
+            core_.completeMem(complete);
+            if (ref.isLoad())
+                last_load = complete;
+            mshrs_.retire(complete);
+        }
+        accesses += got;
+        done += got;
+        if (got < want)
+            break; // end of trace
+    }
+
+    l1.commitBaseline(c1);
+    l2.commitBaseline(c2);
+    hier_.noteBaselineBatch(accesses, l1_misses, l2_misses);
+    lastLoadComplete_ = last_load;
+    running_.accesses += accesses;
+    running_.l1Misses += l1_misses;
+    running_.l2Misses += l2_misses;
+    running_.missLatencyTotal += miss_latency;
+    running_.traffic.add(Traffic::BaseData,
+                         l2_misses * config_.hier.l1d.lineBytes);
+    return done;
+}
+
+std::uint64_t
+TimingSim::runBaseline(TraceSource &src, std::uint64_t refs)
+{
+    // Dispatch once per run to a way-scan-unrolled instantiation for
+    // the geometries the experiments actually sweep; anything else
+    // takes the runtime-associativity loop (same semantics).
+    return dispatchByAssociativity(
+        hier_.l1d().config().assoc, hier_.l2().config().assoc,
+        [&](auto a1, auto a2) {
+            return runBaselineLoop<a1(), a2()>(src, refs);
+        });
+}
+
+std::uint64_t
+TimingSim::run(TraceSource &src, std::uint64_t refs)
+{
+    if (batch_.size() < timingBatchRefs)
+        batch_.resize(timingBatchRefs);
+
+    // Baseline runs take the trimmed kernel. The prefetchFills guard
+    // keeps it exact even if the caller injected prefetches by hand
+    // (then lines may carry prefetched/meta state the kernel skips);
+    // with no predictor the in-flight table and request queue are
+    // empty by construction.
+    if (pred_ == nullptr && !config_.hier.perfectL1 &&
+        hier_.l1d().prefetchFills() == 0 &&
+        hier_.l2().prefetchFills() == 0) {
+        return runBaseline(src, refs);
+    }
+
+    std::uint64_t done = 0;
+    while (done < refs) {
+        // Clamp the pull to the caller's budget: a multi-programmed
+        // quantum must not consume records its next quantum replays.
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(refs - done, timingBatchRefs));
         const std::size_t got = src.fill({batch_.data(), want});
         for (std::size_t i = 0; i < got; i++)
             step(batch_[i]);

@@ -128,6 +128,8 @@ class TimingSim : public CacheListener
     OooCore &core() { return core_; }
     /** The cache hierarchy (test access). */
     CacheHierarchy &hierarchy() { return hier_; }
+    /** The MSHR file (test access: occupancy trajectory checks). */
+    MshrFile &mshrs() { return mshrs_; }
 
     /** CacheListener: L1D evictions -> prefetch usefulness feedback. */
     void onEviction(Addr victim_addr, Addr incoming_addr,
@@ -136,6 +138,21 @@ class TimingSim : public CacheListener
                     std::uint8_t victim_meta) override;
 
   private:
+    /**
+     * Trimmed kernel for predictor-less runs: same event sequence as
+     * step() — core issue/retire, MSHR allocate/merge/retire, bus and
+     * DRAM transfers — but with the prefetch machinery (in-flight
+     * table, request queue, metadata bits) compiled out and the
+     * TimingStats counters register-resident for the whole run. The
+     * per-reference work is then the core rings, the packed-tag way
+     * scans and the (usually no-op) MSHR retire compare.
+     */
+    std::uint64_t runBaseline(TraceSource &src, std::uint64_t refs);
+    /** runBaseline's loop, specialized per cache associativity. */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    std::uint64_t runBaselineLoop(TraceSource &src,
+                                  std::uint64_t refs);
+
     /** Latency path for a demand L1 miss; returns completion cycle. */
     Cycle missCompletion(Addr block, HitLevel level, Cycle ready);
 
@@ -195,6 +212,17 @@ class TimingSim : public CacheListener
      */
     std::vector<MemRef> batch_;           //!< run() pull buffer
     std::vector<PrefetchRequest> reqBuf_; //!< predictor drain buffer
+
+    // Per-run constants of the miss event path, hoisted out of the
+    // per-event arithmetic: bus occupancies for the two transfer
+    // sizes the demand/prefetch paths move (a bare request and one
+    // cache block) and the DRAM latency of a block read. All are
+    // functions of the configuration only.
+    Cycle l1l2ReqOcc_;  //!< L1/L2 bus occupancy of a bare request
+    Cycle l1l2LineOcc_; //!< L1/L2 bus occupancy of a block transfer
+    Cycle memReqOcc_;   //!< memory bus occupancy of a bare request
+    Cycle memLineOcc_;  //!< memory bus occupancy of a block transfer
+    Cycle dramLineLat_; //!< DRAM latency of one block read
 
     Cycle lastLoadComplete_ = 0;
     /** Monotonic clock for prefetch issue pacing (reference ready

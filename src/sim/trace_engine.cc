@@ -311,15 +311,113 @@ TraceEngine::runBaseline(TraceSource &src, std::uint64_t refs)
     // Dispatch once per run to a way-scan-unrolled instantiation for
     // the geometries the experiments actually sweep; anything else
     // takes the runtime-associativity loop (same semantics).
-    const std::uint32_t a1 = hier_.l1d().config().assoc;
-    const std::uint32_t a2 = hier_.l2().config().assoc;
-    if (a1 == 2 && a2 == 8)
-        return runBaselineLoop<2, 8>(src, refs);
-    if (a1 == 2 && a2 == 16)
-        return runBaselineLoop<2, 16>(src, refs);
-    if (a1 == 4 && a2 == 8)
-        return runBaselineLoop<4, 8>(src, refs);
-    return runBaselineLoop<0, 0>(src, refs);
+    return dispatchByAssociativity(
+        hier_.l1d().config().assoc, hier_.l2().config().assoc,
+        [&](auto a1, auto a2) {
+            return runBaselineLoop<a1(), a2()>(src, refs);
+        });
+}
+
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+std::uint64_t
+TraceEngine::runPredictedLoop(TraceSource &src, std::uint64_t refs)
+{
+    // See the declaration comment. The loop-owned counters below are
+    // disjoint from everything the eviction listeners and
+    // drainPredictor() write into the bucket (uselessPrefetches,
+    // early-eviction marks are cleared here but *counted* here too,
+    // IncorrectPrefetch/Sequence* traffic), so accumulating them in
+    // locals and reconciling once cannot reorder any observable
+    // event: predictors still see every reference and drain at the
+    // exact same points as step().
+    Cache &l1 = hier_.l1d();
+    const std::uint32_t line_bytes = hierConfig_.l1d.lineBytes;
+    std::uint64_t accesses = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t correct = 0;
+    std::uint64_t early = 0;
+    std::uint64_t base_bytes = 0;
+
+    std::uint64_t done = 0;
+    while (done < refs) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(refs - done, engineBatchRefs));
+        const std::size_t got = src.fill({batch_.data(), want});
+        for (std::size_t i = 0; i < got; i++) {
+            const MemRef &ref = batch_[i];
+            instructions += 1 + ref.nonMemGap;
+
+            const HierOutcome out =
+                hier_.access<L1Assoc, L2Assoc>(ref.addr, ref.op);
+            const Addr block = l1.blockAlign(ref.addr);
+
+            if (out.l1Hit()) {
+                if (out.l1HitOnPrefetch) {
+                    // A miss eliminated by the predictor; charge the
+                    // block transfer the demand fetch would have
+                    // performed anyway (see step()).
+                    correct++;
+                    std::uint8_t meta = out.l1Meta;
+                    if (!(meta & LineMetaFetched))
+                        meta = hier_.l2().takeMeta(block);
+                    if ((meta & LineMetaFetched) &&
+                        (meta & LineMetaOffChip)) {
+                        base_bytes += line_bytes;
+                    }
+                    PrefetchFeedback fb;
+                    fb.target = ref.addr;
+                    fb.useless = false;
+                    pred_->feedback(fb);
+                }
+            } else {
+                l1_misses++;
+                if (l1.clearEvictedMark(block))
+                    early++;
+                if (out.level == HitLevel::Memory) {
+                    l2_misses++;
+                    base_bytes += line_bytes;
+                } else if (out.l2HitOnPrefetch) {
+                    if ((out.l2Meta & LineMetaFetched) &&
+                        (out.l2Meta & LineMetaOffChip)) {
+                        base_bytes += line_bytes;
+                    }
+                    PrefetchFeedback fb;
+                    fb.target = ref.addr;
+                    fb.useless = false;
+                    pred_->feedback(fb);
+                }
+            }
+
+            pred_->observe(ref, out);
+            drainPredictor();
+        }
+        accesses += got;
+        done += got;
+        if (got < want)
+            break; // end of trace
+    }
+
+    CoverageStats &s = buckets_[current_];
+    s.accesses += accesses;
+    s.instructions += instructions;
+    s.l1Misses += l1_misses;
+    s.l2Misses += l2_misses;
+    s.correct += correct;
+    s.early += early;
+    s.traffic.add(Traffic::BaseData, base_bytes);
+    return done;
+}
+
+std::uint64_t
+TraceEngine::runPredicted(TraceSource &src, std::uint64_t refs)
+{
+    return dispatchByAssociativity(
+        hier_.l1d().config().assoc, hier_.l2().config().assoc,
+        [&](auto a1, auto a2) {
+            return runPredictedLoop<a1(), a2()>(src, refs);
+        });
 }
 
 std::uint64_t
@@ -337,10 +435,17 @@ TraceEngine::run(TraceSource &src, std::uint64_t refs)
         return runBaseline(src, refs);
     }
 
+    // Predictor runs take the register-resident batched kernel.
+    // (Fills are clamped to the caller's budget inside both kernels:
+    // a multi-programmed quantum must not consume records its next
+    // quantum replays.)
+    if (pred_ != nullptr)
+        return runPredicted(src, refs);
+
+    // Predictor-less but with prefetch state present (hand-injected
+    // fills, perfect L1): the exact scalar path.
     std::uint64_t done = 0;
     while (done < refs) {
-        // Clamp the pull to the caller's budget: a multi-programmed
-        // quantum must not consume records its next quantum replays.
         const std::size_t want = static_cast<std::size_t>(
             std::min<std::uint64_t>(refs - done, engineBatchRefs));
         const std::size_t got = src.fill({batch_.data(), want});

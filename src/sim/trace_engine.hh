@@ -155,6 +155,21 @@ class TraceEngine : public CacheListener
     template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
     std::uint64_t runBaselineLoop(TraceSource &src,
                                   std::uint64_t refs);
+    /**
+     * Batched kernel for predictor runs: the same event sequence as
+     * step()+drainPredictor(), but the loop-owned CoverageStats
+     * counters stay register-resident between predictor drains and
+     * are reconciled into the bucket once per run — the bucket only
+     * sees the callback-owned counters (useless prefetches, incorrect
+     * traffic, sequence bytes) while the loop is hot. The
+     * associativity template arguments unroll the way scans as in
+     * runBaselineLoop.
+     */
+    std::uint64_t runPredicted(TraceSource &src, std::uint64_t refs);
+    /** runPredicted's loop, specialized per cache associativity. */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    std::uint64_t runPredictedLoop(TraceSource &src,
+                                   std::uint64_t refs);
 
     HierarchyConfig hierConfig_;
     CacheHierarchy hier_;

@@ -155,7 +155,12 @@ struct TraceGolden
     std::uint64_t useless;     //!< prefetched blocks never touched
 };
 
-/** Timing-engine expectations (exact). */
+/**
+ * Timing-engine expectations (exact): cycle count, the coverage
+ * counters and the Figure 12 bandwidth numbers (per-class traffic
+ * bytes and memory-bus busy cycles), so any batched-kernel change
+ * that shifts a single bus transfer or prefetch outcome fails here.
+ */
 struct TimingGolden
 {
     const char *file;
@@ -163,6 +168,14 @@ struct TimingGolden
     std::uint64_t instructions;
     std::uint64_t l1Misses;
     std::uint64_t correct; //!< demand hits on prefetched blocks
+    std::uint64_t l2Misses;
+    std::uint64_t partial; //!< prefetched but still in flight
+    std::uint64_t useless; //!< prefetched blocks never used
+    std::uint64_t memBusBusy;  //!< memory-bus busy cycles
+    std::uint64_t baseBytes;   //!< Traffic::BaseData
+    std::uint64_t wrongBytes;  //!< Traffic::IncorrectPrefetch
+    std::uint64_t createBytes; //!< Traffic::SequenceCreate
+    std::uint64_t fetchBytes;  //!< Traffic::SequenceFetch
 };
 
 // Values pinned from the initial capture (see file comment for the
@@ -175,10 +188,39 @@ const TraceGolden kTraceGolden[] = {
 };
 
 const TimingGolden kTimingGolden[] = {
-    {"strided_scan.ltct", 123799, 262144, 24002, 8766},
-    {"pointer_chase.ltct", 1247944, 163840, 12532, 20236},
-    {"interleave.ltct", 99291, 128731, 19548, 3858},
-    {"tree_walk.ltct", 74675, 98280, 13075, 3305},
+    {"strided_scan.ltct", 123799, 262144, 24002, 8766, 4096, 0, 0,
+     270828, 262144, 0, 123384, 348160},
+    {"pointer_chase.ltct", 1247944, 163840, 12532, 20236, 4096, 103,
+     13, 262206, 262144, 0, 77789, 230470},
+    {"interleave.ltct", 99291, 128731, 19548, 3858, 4096, 132, 147,
+     189114, 262144, 0, 96121, 92160},
+    {"tree_walk.ltct", 74675, 98280, 13075, 3305, 4095, 243, 23,
+     149487, 262080, 0, 63583, 87040},
+};
+
+/**
+ * Predictor-less timing expectations (exact): pins the baseline
+ * cycle-engine path — the fast kernel TimingSim::run takes when no
+ * predictor is attached — including the stall/latency accounting.
+ */
+struct TimingBaselineGolden
+{
+    const char *file;
+    std::uint64_t cycles;
+    std::uint64_t l1Misses;
+    std::uint64_t l2Misses;
+    std::uint64_t missLatencyTotal;
+    std::uint64_t memBusBusy;
+    std::uint64_t baseBytes; //!< Traffic::BaseData
+};
+
+const TimingBaselineGolden kTimingBaselineGolden[] = {
+    {"strided_scan.ltct", 123113, 32768, 4096, 3937600, 49152,
+     262144},
+    {"pointer_chase.ltct", 1732609, 32768, 4096, 1732608, 49152,
+     262144},
+    {"interleave.ltct", 98405, 23406, 4096, 4609307, 49152, 262144},
+    {"tree_walk.ltct", 73943, 16380, 4095, 3176062, 49140, 262080},
 };
 
 bool
@@ -297,19 +339,77 @@ TEST(GoldenTimingEngine, MetricsMatchExactly)
         SCOPED_TRACE(g.file);
         const TimingStats s = runTimingEngine(g.file);
         if (printMode()) {
-            std::printf("    {\"%s\", %llu, %llu, %llu, %llu},\n",
+            std::printf("    {\"%s\", %llu, %llu, %llu, %llu, %llu, "
+                        "%llu, %llu, %llu,\n     %llu, %llu, %llu, "
+                        "%llu},\n",
                         g.file,
                         static_cast<unsigned long long>(s.cycles),
                         static_cast<unsigned long long>(
                             s.instructions),
                         static_cast<unsigned long long>(s.l1Misses),
-                        static_cast<unsigned long long>(s.correct));
+                        static_cast<unsigned long long>(s.correct),
+                        static_cast<unsigned long long>(s.l2Misses),
+                        static_cast<unsigned long long>(s.partial),
+                        static_cast<unsigned long long>(s.useless),
+                        static_cast<unsigned long long>(s.memBusBusy),
+                        static_cast<unsigned long long>(
+                            s.traffic.bytes(Traffic::BaseData)),
+                        static_cast<unsigned long long>(
+                            s.traffic.bytes(
+                                Traffic::IncorrectPrefetch)),
+                        static_cast<unsigned long long>(
+                            s.traffic.bytes(Traffic::SequenceCreate)),
+                        static_cast<unsigned long long>(
+                            s.traffic.bytes(Traffic::SequenceFetch)));
             continue;
         }
         EXPECT_EQ(s.cycles, g.cycles);
         EXPECT_EQ(s.instructions, g.instructions);
         EXPECT_EQ(s.l1Misses, g.l1Misses);
         EXPECT_EQ(s.correct, g.correct);
+        EXPECT_EQ(s.l2Misses, g.l2Misses);
+        EXPECT_EQ(s.partial, g.partial);
+        EXPECT_EQ(s.useless, g.useless);
+        EXPECT_EQ(s.memBusBusy, g.memBusBusy);
+        EXPECT_EQ(s.traffic.bytes(Traffic::BaseData), g.baseBytes);
+        EXPECT_EQ(s.traffic.bytes(Traffic::IncorrectPrefetch),
+                  g.wrongBytes);
+        EXPECT_EQ(s.traffic.bytes(Traffic::SequenceCreate),
+                  g.createBytes);
+        EXPECT_EQ(s.traffic.bytes(Traffic::SequenceFetch),
+                  g.fetchBytes);
+    }
+}
+
+TEST(GoldenTimingEngine, BaselineMetricsMatchExactly)
+{
+    for (const TimingBaselineGolden &g : kTimingBaselineGolden) {
+        SCOPED_TRACE(g.file);
+        FileTrace trace(dataPath(g.file));
+        TimingSim sim(paperTiming(), nullptr);
+        sim.run(trace, trace.size());
+        const TimingStats s = sim.stats();
+        if (printMode()) {
+            std::printf("    {\"%s\", %llu, %llu, %llu, %llu, %llu,\n"
+                        "     %llu},\n",
+                        g.file,
+                        static_cast<unsigned long long>(s.cycles),
+                        static_cast<unsigned long long>(s.l1Misses),
+                        static_cast<unsigned long long>(s.l2Misses),
+                        static_cast<unsigned long long>(
+                            s.missLatencyTotal),
+                        static_cast<unsigned long long>(s.memBusBusy),
+                        static_cast<unsigned long long>(
+                            s.traffic.bytes(Traffic::BaseData)));
+            continue;
+        }
+        EXPECT_EQ(s.cycles, g.cycles);
+        EXPECT_EQ(s.l1Misses, g.l1Misses);
+        EXPECT_EQ(s.l2Misses, g.l2Misses);
+        EXPECT_EQ(s.missLatencyTotal, g.missLatencyTotal);
+        EXPECT_EQ(s.memBusBusy, g.memBusBusy);
+        EXPECT_EQ(s.traffic.bytes(Traffic::BaseData), g.baseBytes);
+        EXPECT_EQ(s.accesses, trace.size());
     }
 }
 

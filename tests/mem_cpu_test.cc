@@ -82,6 +82,47 @@ TEST(BusTest, Reset)
     EXPECT_TRUE(bus.isFree(0));
 }
 
+TEST(BusTest, ZeroLatencyConfig)
+{
+    // A free request phase (requestCycles = 0): a zero-byte transfer
+    // occupies nothing, advances no horizon, and never queues — the
+    // degenerate machine the batched timing kernel must keep exact
+    // (the equivalence suite runs a whole machine configured this
+    // way).
+    BusConfig cfg;
+    cfg.requestCycles = 0;
+    Bus bus(cfg);
+    EXPECT_EQ(cfg.occupancy(0), 0u);
+    EXPECT_EQ(bus.transfer(5, 0), 5u);
+    EXPECT_EQ(bus.transfer(5, 0), 5u); // still free: no occupancy
+    EXPECT_TRUE(bus.isFree(5));
+    EXPECT_EQ(bus.busyCycles(), 0u);
+    EXPECT_EQ(bus.queueCycles(), 0u);
+    EXPECT_EQ(bus.transfers(), 2u);
+    // Data still costs data cycles even with a free request phase.
+    EXPECT_EQ(bus.transfer(10, 64), 12u);
+}
+
+TEST(BusTest, SaturatedWindowQueuesEveryTransfer)
+{
+    // All transfers ready at cycle 0: the k-th starts when the
+    // (k-1)-th finishes, so waits grow linearly and the bus never
+    // idles — utilization clamps at exactly 1.
+    Bus bus(BusConfig::l1l2());
+    const Cycle occ = bus.config().occupancy(64); // 3 cycles
+    const int n = 100;
+    Cycle queued = 0;
+    for (int k = 0; k < n; k++) {
+        EXPECT_EQ(bus.transfer(0, 64), (k + 1) * occ);
+        queued += k * occ;
+    }
+    EXPECT_EQ(bus.queueCycles(), queued);
+    EXPECT_EQ(bus.busyCycles(), n * occ);
+    EXPECT_DOUBLE_EQ(bus.utilization(n * occ), 1.0);
+    // A transfer arriving mid-saturation waits for the full backlog.
+    EXPECT_EQ(bus.transfer(1, 64), (n + 1) * occ);
+}
+
 //
 // DRAM
 //
@@ -104,6 +145,21 @@ TEST(DramTest, TrafficCounters)
     dram.write(32);
     EXPECT_EQ(dram.bytesRead(), 128u);
     EXPECT_EQ(dram.bytesWritten(), 32u);
+}
+
+TEST(DramTest, NoteReadMatchesRead)
+{
+    // The timing engine's hoisted-latency path: latency() once up
+    // front plus noteRead() per event must leave the model in the
+    // same state as read().
+    DramModel a;
+    DramModel b;
+    const Cycle lat = b.latency(64);
+    for (int i = 0; i < 5; i++) {
+        EXPECT_EQ(a.read(64), lat);
+        b.noteRead(64);
+    }
+    EXPECT_EQ(a.bytesRead(), b.bytesRead());
 }
 
 //
@@ -193,6 +249,46 @@ TEST(MshrTest, MergeCounter)
     m.noteMerge();
     m.noteMerge();
     EXPECT_EQ(m.merges(), 2u);
+}
+
+TEST(MshrTest, BackToBackMergesKeepTheEntry)
+{
+    // A burst of accesses to one outstanding block must merge with
+    // the same entry every time (no entry lost, no duplicate
+    // allocated) until the completion retires it.
+    MshrFile m(4);
+    m.allocate(0x1000, 0, 500);
+    for (int i = 0; i < 10; i++) {
+        auto hit = m.lookup(0x1000);
+        ASSERT_TRUE(hit.has_value()) << "merge " << i;
+        EXPECT_EQ(*hit, 500u);
+        m.noteMerge();
+    }
+    EXPECT_EQ(m.merges(), 10u);
+    EXPECT_EQ(m.outstanding(), 1u);
+    // Retires strictly before completion keep it; at completion it
+    // goes, and the next access to the block is a fresh miss.
+    m.retire(499);
+    EXPECT_TRUE(m.lookup(0x1000).has_value());
+    m.retire(500);
+    EXPECT_FALSE(m.lookup(0x1000).has_value());
+    EXPECT_EQ(m.outstanding(), 0u);
+}
+
+TEST(MshrTest, LateRetireReleasesEverything)
+{
+    // Event-granular retire: one tick far in the future releases all
+    // completed entries at once (the batched kernel never steps
+    // through intermediate times).
+    MshrFile m(8);
+    for (int i = 0; i < 6; i++)
+        m.allocate(static_cast<Addr>(i) * 64, 0, 100 + i * 50);
+    EXPECT_EQ(m.outstanding(), 6u);
+    m.retire(10'000);
+    EXPECT_EQ(m.outstanding(), 0u);
+    EXPECT_EQ(m.peakOccupancy(), 6u);
+    // And the file is immediately reusable at full capacity.
+    EXPECT_EQ(m.allocReadyAt(10'000), 10'000u);
 }
 
 //

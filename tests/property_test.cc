@@ -16,10 +16,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <set>
+#include <vector>
 
+#include "cache/mshr.hh"
 #include "core/ltcords.hh"
+#include "mem/bus.hh"
 #include "sim/experiment.hh"
 #include "sim/timing_engine.hh"
 #include "sim/trace_engine.hh"
@@ -235,6 +240,236 @@ INSTANTIATE_TEST_SUITE_P(
                       HierGeom{64, 2, 1024, 8},
                       HierGeom{64, 4, 1024, 8},
                       HierGeom{128, 8, 2048, 16}));
+
+//
+// MSHR file: randomized sequences against a naive reference model.
+//
+// MshrFile short-circuits its per-reference retire() with a cached
+// earliest-completion and screens lookup() with a presence filter;
+// both are pure optimizations, so the file must stay observably
+// identical to the obvious implementation (eager scans everywhere)
+// at EVERY step of any allocate/lookup/retire schedule.
+//
+
+/** The obvious MSHR implementation: no caches, no filters. */
+class NaiveMshr
+{
+  public:
+    explicit NaiveMshr(std::uint32_t capacity) : capacity_(capacity) {}
+
+    Cycle
+    allocReadyAt(Cycle now) const
+    {
+        if (entries_.size() < capacity_)
+            return now;
+        Cycle earliest = entries_.front().second;
+        for (const auto &e : entries_)
+            earliest = std::min(earliest, e.second);
+        return std::max(now, earliest);
+    }
+
+    void
+    allocate(Addr block, Cycle start, Cycle completion)
+    {
+        retire(start);
+        ASSERT_LT(entries_.size(), capacity_);
+        entries_.emplace_back(block, completion);
+        peak_ = std::max<std::uint32_t>(
+            peak_, static_cast<std::uint32_t>(entries_.size()));
+    }
+
+    std::optional<Cycle>
+    lookup(Addr block) const
+    {
+        for (const auto &e : entries_)
+            if (e.first == block)
+                return e.second;
+        return std::nullopt;
+    }
+
+    void
+    retire(Cycle now)
+    {
+        std::erase_if(entries_,
+                      [now](const auto &e) { return e.second <= now; });
+    }
+
+    std::uint32_t
+    outstanding() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+    std::uint32_t peakOccupancy() const { return peak_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::vector<std::pair<Addr, Cycle>> entries_;
+    std::uint32_t peak_ = 0;
+};
+
+class MshrProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MshrProperty, RandomScheduleMatchesNaiveModelExactly)
+{
+    Rng rng(GetParam());
+    const std::uint32_t capacity =
+        static_cast<std::uint32_t>(rng.range(1, 16));
+    MshrFile file(capacity);
+    NaiveMshr naive(capacity);
+
+    Cycle now = 0;
+    for (int op = 0; op < 20'000; op++) {
+        now += rng.below(40); // time may stall, never reverses
+        const Addr block = (rng.below(24)) * 64;
+
+        // Retire ticks arrive in bursts, as in the batched kernel.
+        if (rng.chance(0.6)) {
+            file.retire(now);
+            naive.retire(now);
+        }
+
+        const auto got = file.lookup(block);
+        const auto want = naive.lookup(block);
+        ASSERT_EQ(got.has_value(), want.has_value()) << "op " << op;
+        if (got) {
+            ASSERT_EQ(*got, *want) << "op " << op;
+            file.noteMerge();
+        } else {
+            // A pending miss must never be lost: allocate and check
+            // it is findable with the exact completion time.
+            const Cycle ready = file.allocReadyAt(now);
+            ASSERT_EQ(ready, naive.allocReadyAt(now)) << "op " << op;
+            const Cycle completion = ready + 1 + rng.below(400);
+            file.allocate(block, ready, completion);
+            naive.allocate(block, ready, completion);
+            ASSERT_EQ(file.lookup(block), std::optional(completion));
+        }
+
+        // Occupancy trajectory identical, capacity never exceeded.
+        ASSERT_EQ(file.outstanding(), naive.outstanding())
+            << "op " << op;
+        ASSERT_LE(file.outstanding(), capacity);
+        ASSERT_EQ(file.peakOccupancy(), naive.peakOccupancy());
+    }
+}
+
+TEST_P(MshrProperty, BurstRetireEqualsSingleStepping)
+{
+    // The event-granular property the batched timing kernel leans on:
+    // retiring once at time T releases exactly the entries that
+    // stepping retire() through every intermediate time would have
+    // released, so skipped no-op ticks cannot change the occupancy
+    // trace.
+    Rng rng(GetParam() * 7919 + 1);
+    const std::uint32_t capacity = 8;
+    MshrFile burst(capacity);
+    MshrFile stepped(capacity);
+
+    Cycle now = 0;
+    for (int round = 0; round < 500; round++) {
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(rng.range(1, capacity));
+        for (std::uint32_t i = 0; i < n; i++) {
+            const Addr block =
+                (static_cast<Addr>(round) * capacity + i) * 64;
+            const Cycle ready = burst.allocReadyAt(now);
+            const Cycle completion = ready + 1 + rng.below(300);
+            burst.allocate(block, ready, completion);
+            stepped.allocate(block, ready, completion);
+        }
+        const Cycle target = now + rng.below(500);
+        for (Cycle t = now; t <= target; t += 1 + rng.below(60))
+            stepped.retire(t);
+        stepped.retire(target);
+        burst.retire(target);
+        now = target;
+        ASSERT_EQ(burst.outstanding(), stepped.outstanding())
+            << "round " << round;
+        ASSERT_EQ(burst.allocReadyAt(now), stepped.allocReadyAt(now));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MshrProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+//
+// Bus: randomized transfer schedules against the occupancy algebra.
+//
+
+class BusProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BusProperty, RandomScheduleObeysOccupancyAlgebra)
+{
+    Rng rng(GetParam() * 31 + 5);
+    BusConfig cfg;
+    cfg.requestCycles = rng.below(3);
+    cfg.bytesPerCycle = 1u << rng.range(0, 6);
+    cfg.coreCyclesPerBusCycle =
+        static_cast<std::uint32_t>(rng.range(1, 4));
+    Bus bus(cfg);
+
+    Cycle busy_until = 0; // reference horizon
+    Cycle busy_sum = 0;
+    Cycle queue_sum = 0;
+    std::uint64_t bytes_sum = 0;
+    Cycle ready = 0;
+    for (int i = 0; i < 10'000; i++) {
+        ready += rng.below(20);
+        const std::uint32_t bytes =
+            static_cast<std::uint32_t>(rng.below(256));
+
+        ASSERT_EQ(bus.freeAt(ready), std::max(ready, busy_until));
+        ASSERT_EQ(bus.isFree(ready), busy_until <= ready);
+
+        const Cycle done = bus.transfer(ready, bytes);
+        const Cycle start = std::max(ready, busy_until);
+        const Cycle occ = cfg.occupancy(bytes);
+        ASSERT_EQ(done, start + occ) << "transfer " << i;
+        queue_sum += start - ready;
+        busy_until = start + occ;
+        busy_sum += occ;
+        bytes_sum += bytes;
+
+        ASSERT_EQ(bus.busyCycles(), busy_sum);
+        ASSERT_EQ(bus.queueCycles(), queue_sum);
+        ASSERT_EQ(bus.bytesMoved(), bytes_sum);
+        ASSERT_LE(bus.utilization(busy_until), 1.0);
+    }
+    EXPECT_EQ(bus.transfers(), 10'000u);
+}
+
+TEST_P(BusProperty, PrecomputedOccupancyPathIsIdentical)
+{
+    // transferPrecomputed(ready, bytes, occupancy(bytes)) is the
+    // timing engine's hoisted-division fast path; it must be
+    // indistinguishable from transfer() for any schedule.
+    Rng rng(GetParam() * 131 + 17);
+    BusConfig cfg = BusConfig::memory();
+    Bus plain(cfg);
+    Bus pre(cfg);
+
+    Cycle ready = 0;
+    for (int i = 0; i < 10'000; i++) {
+        ready += rng.below(12);
+        const std::uint32_t bytes =
+            rng.chance(0.5) ? 0u : cfg.bytesPerCycle * 2;
+        const Cycle a = plain.transfer(ready, bytes);
+        const Cycle b = pre.transferPrecomputed(ready, bytes,
+                                                cfg.occupancy(bytes));
+        ASSERT_EQ(a, b) << "transfer " << i;
+    }
+    EXPECT_EQ(plain.busyCycles(), pre.busyCycles());
+    EXPECT_EQ(plain.queueCycles(), pre.queueCycles());
+    EXPECT_EQ(plain.bytesMoved(), pre.bytesMoved());
+    EXPECT_EQ(plain.transfers(), pre.transfers());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BusProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 } // namespace
 } // namespace ltc

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Timing-engine batched/scalar equivalence suite.
+ *
+ * TimingSim::run (the batched kernel, including the predictor-less
+ * register-resident fast path) must be indistinguishable from a
+ * manual next()/step() loop: identical TimingStats — cycles, stalls
+ * (per-channel queue cycles), bus occupancy, traffic by class,
+ * coverage counters — plus identical MSHR high-water marks and
+ * hierarchy/cache counters, for every (workload x predictor x
+ * machine) cell, under split run() budgets and mixed scalar/batched
+ * use. The whole simulator is integer + fixed-seed RNG, so exact
+ * equality is portable; any divergence is a kernel bug, not noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/timing_engine.hh"
+#include "trace/trace.hh"
+#include "trace/workloads.hh"
+
+namespace ltc
+{
+namespace
+{
+
+/** One machine configuration of the sweep. */
+struct MachineCase
+{
+    const char *name;
+    TimingConfig (*make)();
+};
+
+/** Table 1 machine: (2, 8) associativity, on the dispatch table. */
+TimingConfig
+paperMachine()
+{
+    return paperTiming();
+}
+
+/**
+ * Off the static-associativity dispatch table (8-way L1, 4-way L2),
+ * with a small MSHR file so allocReadyAt back-pressure fires.
+ */
+TimingConfig
+genericMachine()
+{
+    TimingConfig c;
+    c.hier.l1d.assoc = 8;
+    c.hier.l2.assoc = 4;
+    c.core.l1dMshrs = 4;
+    return c;
+}
+
+/**
+ * Stress machine: zero-latency request phases, a core-clocked memory
+ * bus, a tiny ROB/LSQ and an 8-entry prefetch queue so overflow
+ * drops and queue-full replacement trigger.
+ */
+TimingConfig
+stressMachine()
+{
+    TimingConfig c;
+    c.l1l2Bus.requestCycles = 0;
+    c.memBus.requestCycles = 0;
+    c.memBus.coreCyclesPerBusCycle = 1;
+    c.core.robSize = 16;
+    c.core.lsqSize = 8;
+    c.core.l1dMshrs = 2;
+    c.prefetchQueueEntries = 8;
+    return c;
+}
+
+const MachineCase kMachines[] = {
+    {"paper", paperMachine},
+    {"generic", genericMachine},
+    {"stress", stressMachine},
+};
+
+const char *const kWorkloads[] = {"mcf", "em3d", "gzip", "swim"};
+const char *const kPredictors[] = {"none", "lt-cords", "ghb", "dbcp",
+                                   "stride"};
+
+void
+expectSameTiming(const TimingStats &a, const TimingStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.correct, b.correct);
+    EXPECT_EQ(a.partial, b.partial);
+    EXPECT_EQ(a.useless, b.useless);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.missLatencyTotal, b.missLatencyTotal);
+    EXPECT_EQ(a.memBusBusy, b.memBusBusy);
+    EXPECT_EQ(a.l1l2BusBusy, b.l1l2BusBusy);
+    EXPECT_EQ(a.l1l2ReqQueue, b.l1l2ReqQueue);
+    EXPECT_EQ(a.l1l2DataQueue, b.l1l2DataQueue);
+    EXPECT_EQ(a.memReqQueue, b.memReqQueue);
+    EXPECT_EQ(a.memDataQueue, b.memDataQueue);
+    for (unsigned t = 0;
+         t < static_cast<unsigned>(Traffic::NumClasses); t++) {
+        EXPECT_EQ(a.traffic.bytes(static_cast<Traffic>(t)),
+                  b.traffic.bytes(static_cast<Traffic>(t)))
+            << "traffic class " << t;
+    }
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+}
+
+void
+expectSameMachineState(TimingSim &a, TimingSim &b)
+{
+    // MSHR occupancy trajectory (high-water mark + merge count).
+    EXPECT_EQ(a.mshrs().peakOccupancy(), b.mshrs().peakOccupancy());
+    EXPECT_EQ(a.mshrs().merges(), b.mshrs().merges());
+    EXPECT_EQ(a.mshrs().outstanding(), b.mshrs().outstanding());
+    // Functional hierarchy counters.
+    EXPECT_EQ(a.hierarchy().accesses(), b.hierarchy().accesses());
+    EXPECT_EQ(a.hierarchy().l1Misses(), b.hierarchy().l1Misses());
+    EXPECT_EQ(a.hierarchy().l2Misses(), b.hierarchy().l2Misses());
+    EXPECT_EQ(a.hierarchy().l1d().accesses(),
+              b.hierarchy().l1d().accesses());
+    EXPECT_EQ(a.hierarchy().l1d().misses(),
+              b.hierarchy().l1d().misses());
+    EXPECT_EQ(a.hierarchy().l1d().evictions(),
+              b.hierarchy().l1d().evictions());
+    EXPECT_EQ(a.hierarchy().l2().accesses(),
+              b.hierarchy().l2().accesses());
+    EXPECT_EQ(a.hierarchy().l2().misses(),
+              b.hierarchy().l2().misses());
+    EXPECT_EQ(a.hierarchy().l2().evictions(),
+              b.hierarchy().l2().evictions());
+    EXPECT_EQ(a.core().instructions(), b.core().instructions());
+}
+
+/**
+ * Drive one (workload, predictor, machine) cell through both paths
+ * and compare everything. The batched side splits its budget over
+ * several run() calls so batch remainders and re-entry are covered.
+ */
+void
+checkCell(const std::string &workload, const std::string &pred_name,
+          const MachineCase &machine, std::uint64_t refs)
+{
+    SCOPED_TRACE(workload + "/" + pred_name + "/" + machine.name);
+
+    auto src_batch = makeWorkload(workload);
+    auto pred_batch = makePredictor(pred_name, machine.make().hier,
+                                    /*model_stream_latency=*/true);
+    TimingSim batched(machine.make(), pred_batch.get());
+    std::uint64_t done = 0;
+    done += batched.run(*src_batch, refs / 2);
+    done += batched.run(*src_batch, 1);
+    done += batched.run(*src_batch, refs - done);
+    ASSERT_EQ(done, refs);
+
+    auto src_scalar = makeWorkload(workload);
+    auto pred_scalar = makePredictor(pred_name, machine.make().hier,
+                                     /*model_stream_latency=*/true);
+    TimingSim scalar(machine.make(), pred_scalar.get());
+    MemRef ref;
+    for (std::uint64_t i = 0; i < refs; i++) {
+        ASSERT_TRUE(src_scalar->next(ref));
+        scalar.step(ref);
+    }
+
+    expectSameTiming(batched.stats(), scalar.stats());
+    expectSameMachineState(batched, scalar);
+}
+
+// ------------------------------------------------------------ tests
+
+/** The full cell matrix (the PR's acceptance sweep). */
+TEST(TimingEquivalence, EveryWorkloadPredictorMachineCell)
+{
+    for (const MachineCase &machine : kMachines)
+        for (const char *wl : kWorkloads)
+            for (const char *pred : kPredictors)
+                checkCell(wl, pred, machine, 20'000);
+}
+
+/** Perfect-L1 machines bypass the fast path but must still agree. */
+TEST(TimingEquivalence, PerfectL1Machine)
+{
+    MachineCase perfect = {"perfect-l1", [] {
+                               TimingConfig c;
+                               c.hier.perfectL1 = true;
+                               return c;
+                           }};
+    checkCell("mcf", "none", perfect, 20'000);
+    checkCell("gzip", "lt-cords", perfect, 20'000);
+}
+
+/**
+ * Mixed use: scalar step() calls interleaved between batched run()
+ * calls must leave the engine in exactly the state a pure-scalar run
+ * reaches (the baseline fast path re-engages after manual steps).
+ */
+TEST(TimingEquivalence, MixedScalarAndBatchedUse)
+{
+    for (const char *pred_name : {"none", "lt-cords"}) {
+        SCOPED_TRACE(pred_name);
+        auto src_mixed = makeWorkload("em3d");
+        auto pred_mixed = makePredictor(pred_name, paperHierarchy(),
+                                        true);
+        TimingSim mixed(paperTiming(), pred_mixed.get());
+        mixed.run(*src_mixed, 10'000);
+        MemRef ref;
+        for (int i = 0; i < 1'000; i++) {
+            ASSERT_TRUE(src_mixed->next(ref));
+            mixed.step(ref);
+        }
+        mixed.run(*src_mixed, 10'000);
+
+        auto src_scalar = makeWorkload("em3d");
+        auto pred_scalar = makePredictor(pred_name, paperHierarchy(),
+                                         true);
+        TimingSim scalar(paperTiming(), pred_scalar.get());
+        for (std::uint64_t i = 0; i < 21'000; i++) {
+            ASSERT_TRUE(src_scalar->next(ref));
+            scalar.step(ref);
+        }
+
+        expectSameTiming(mixed.stats(), scalar.stats());
+        expectSameMachineState(mixed, scalar);
+    }
+}
+
+/**
+ * A hand-injected prefetch before run() poisons the fast path's
+ * no-prefetch-state precondition; the kernel must detect it and stay
+ * on the exact general path.
+ */
+TEST(TimingEquivalence, HandInjectedPrefetchDisablesFastPath)
+{
+    auto src_batch = makeWorkload("mcf");
+    TimingSim batched(paperTiming(), nullptr);
+    batched.hierarchy().prefetch(0x40, invalidAddr);
+    batched.run(*src_batch, 30'000);
+
+    auto src_scalar = makeWorkload("mcf");
+    TimingSim scalar(paperTiming(), nullptr);
+    scalar.hierarchy().prefetch(0x40, invalidAddr);
+    MemRef ref;
+    for (std::uint64_t i = 0; i < 30'000; i++) {
+        ASSERT_TRUE(src_scalar->next(ref));
+        scalar.step(ref);
+    }
+
+    expectSameTiming(batched.stats(), scalar.stats());
+    expectSameMachineState(batched, scalar);
+}
+
+/** run() must never pull more records than its budget. */
+TEST(TimingEquivalence, RunNeverOverdraws)
+{
+    auto src = makeWorkload("gzip");
+    TimingSim sim(paperTiming(), nullptr);
+    EXPECT_EQ(sim.run(*src, 777), 777u);
+    EXPECT_EQ(sim.stats().accesses, 777u);
+    // The next record the source yields is record 778 of the stream:
+    // an independent consumer sees the identical continuation.
+    auto fresh = makeWorkload("gzip");
+    MemRef expect, got;
+    for (int i = 0; i < 777; i++)
+        ASSERT_TRUE(fresh->next(expect));
+    for (int i = 0; i < 100; i++) {
+        ASSERT_TRUE(fresh->next(expect));
+        ASSERT_TRUE(src->next(got));
+        ASSERT_TRUE(got == expect) << "record " << 777 + i;
+    }
+}
+
+} // namespace
+} // namespace ltc
