@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/bitops.hh"
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace ltc
@@ -123,6 +124,81 @@ Cache::clearEvictedMarkSlow(std::vector<Addr> &bucket, Addr block)
         }
     }
     return false;
+}
+
+void
+Cache::auditInvariants() const
+{
+    const std::size_t lines = config_.numLines();
+    LTC_CHECK(tagFlags_.size() == lines,
+              "tag array holds ", tagFlags_.size(), " words for ",
+              lines, " lines");
+    LTC_CHECK(stamps_.size() == lines,
+              "stamp array holds ", stamps_.size(), " words for ",
+              lines, " lines");
+    LTC_CHECK(evictMarks_.size() == config_.numSets(),
+              "eviction-mark buckets: ", evictMarks_.size(),
+              " for ", config_.numSets(), " sets");
+    LTC_CHECK(misses_ <= accesses_,
+              misses_, " misses out of ", accesses_, " accesses");
+    LTC_CHECK(evictions_ <= misses_ + prefetchFills_,
+              evictions_, " evictions from ", misses_, " misses + ",
+              prefetchFills_, " prefetch fills");
+
+    // Bits the tag-word layout leaves unused between the packed
+    // metadata and the tag field.
+    constexpr std::uint64_t reservedBits =
+        ((std::uint64_t{1} << tagShift) - 1) &
+        ~(lineValid | lineDirty | linePrefetched | lineMetaMask);
+
+    for (std::uint32_t set = 0; set < config_.numSets(); set++) {
+        const std::size_t base =
+            static_cast<std::size_t>(set) * config_.assoc;
+        for (std::uint32_t w = 0; w < config_.assoc; w++) {
+            const std::uint64_t tf = tagFlags_[base + w];
+            if (!(tf & lineValid)) {
+                LTC_CHECK(tf == 0, "set ", set, " way ", w,
+                          ": invalid line carries residual bits");
+                LTC_CHECK(stamps_[base + w] == 0, "set ", set, " way ",
+                          w, ": invalid line carries a stamp");
+                continue;
+            }
+            LTC_CHECK((tf & reservedBits) == 0, "set ", set, " way ",
+                      w, ": reserved tag-word bits set");
+            LTC_CHECK(stamps_[base + w] <= stamp_, "set ", set,
+                      " way ", w, ": stamp ", stamps_[base + w],
+                      " ahead of global counter ", stamp_);
+            LTC_CHECK(setIndex(lineAddr(tf)) == set, "set ", set,
+                      " way ", w, ": tag word maps to set ",
+                      setIndex(lineAddr(tf)));
+            for (std::uint32_t w2 = w + 1; w2 < config_.assoc; w2++) {
+                const std::uint64_t other = tagFlags_[base + w2];
+                if (other & lineValid) {
+                    LTC_CHECK((other >> tagShift) != (tf >> tagShift),
+                              "set ", set, ": block resident in ways ",
+                              w, " and ", w2);
+                }
+            }
+        }
+    }
+
+    for (std::uint32_t set = 0; set < config_.numSets(); set++) {
+        const std::vector<Addr> &bucket = evictMarks_[set];
+        for (std::size_t i = 0; i < bucket.size(); i++) {
+            const Addr block = bucket[i];
+            LTC_CHECK(blockAlign(block) == block,
+                      "unaligned eviction mark ", block);
+            LTC_CHECK(setIndex(block) == set, "eviction mark ", block,
+                      " filed under set ", set, ", maps to ",
+                      setIndex(block));
+            LTC_CHECK(findIndex(block) == noWay, "eviction-marked "
+                      "block ", block, " is resident");
+            for (std::size_t j = i + 1; j < bucket.size(); j++) {
+                LTC_CHECK(bucket[j] != block,
+                          "duplicate eviction mark ", block);
+            }
+        }
+    }
 }
 
 bool

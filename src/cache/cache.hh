@@ -249,6 +249,20 @@ class Cache
 
     void setListener(CacheListener *listener) { listener_ = listener; }
 
+    /**
+     * Walk the whole structure and LTC_CHECK every representation
+     * invariant of the packed-tag SoA layout: invalid lines are
+     * all-zero, valid tag words map back to their own set, no block
+     * is resident twice in a set, replacement stamps never run ahead
+     * of the global stamp counter, eviction-mark buckets hold only
+     * aligned, non-resident, non-duplicate blocks of their own set,
+     * and the counters are mutually consistent. Cold path: called at
+     * engine batch boundaries when auditing is enabled (see
+     * util/check.hh) and directly by the property/death-test suites.
+     * Panics on the first violation.
+     */
+    void auditInvariants() const;
+
     const CacheConfig &config() const { return config_; }
 
     /** Block-aligned address for @p addr under this cache's geometry. */
@@ -350,6 +364,9 @@ class Cache
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
     std::uint64_t prefetchFills_ = 0;
+
+    /** Death-test hook: lets the invariant suite corrupt state. */
+    friend struct TestPeer;
 };
 
 // ------------------------------------------------------ hot path
@@ -358,6 +375,9 @@ class Cache
 // inline here so the engines' batched run loops compile it into one
 // tight loop: no call boundary is crossed per reference except the
 // (rare) eviction-listener virtual call.
+//
+// LTC_HOT_BEGIN: tools/ltc_lint.py bans hash maps, the modulo
+// operator and virtual declarations between these markers.
 
 inline std::size_t
 Cache::findIndex(Addr addr) const
@@ -516,6 +536,8 @@ Cache::accessBaseline(Addr addr, MemOp op, BaselineCursor &cur)
     stamps[way] = ++cur.stamp;
     return false;
 }
+
+// LTC_HOT_END
 
 } // namespace ltc
 

@@ -1,5 +1,7 @@
 #include "cache/mshr.hh"
 
+#include "util/check.hh"
+
 namespace ltc
 {
 
@@ -23,6 +25,32 @@ MshrFile::retireSlow(Cycle now)
         present_[maskWord(e.blockAddr)] |= maskBit(e.blockAddr);
     }
     earliest_ = earliest;
+}
+
+void
+MshrFile::auditInvariants() const
+{
+    LTC_CHECK(entries_.size() <= capacity_, entries_.size(),
+              " outstanding in a ", capacity_, "-register file");
+    LTC_CHECK(peak_ <= capacity_, "peak occupancy ", peak_,
+              " exceeds capacity ", capacity_);
+    LTC_CHECK(peak_ >= entries_.size(), "peak occupancy ", peak_,
+              " behind current occupancy ", entries_.size());
+
+    Cycle earliest = noEarliest;
+    for (std::size_t i = 0; i < entries_.size(); i++) {
+        const Entry &e = entries_[i];
+        earliest = std::min(earliest, e.completion);
+        LTC_CHECK(present_[maskWord(e.blockAddr)] & maskBit(e.blockAddr),
+                  "presence filter misses outstanding block ",
+                  e.blockAddr);
+        for (std::size_t j = i + 1; j < entries_.size(); j++) {
+            LTC_CHECK(entries_[j].blockAddr != e.blockAddr,
+                      "duplicate MSHR entry for block ", e.blockAddr);
+        }
+    }
+    LTC_CHECK(earliest_ == earliest, "cached earliest-completion ",
+              earliest_, ", true minimum ", earliest);
 }
 
 void

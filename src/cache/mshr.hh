@@ -38,6 +38,10 @@ class MshrFile
   public:
     explicit MshrFile(std::uint32_t capacity);
 
+    // LTC_HOT_BEGIN: tools/ltc_lint.py bans hash maps, the modulo
+    // operator and virtual declarations between these markers
+    // (lookup/retire run per reference in the batched timing kernel).
+
     /**
      * Earliest cycle >= @p now at which a new miss can allocate an
      * entry (i.e. when a register frees up if the file is full).
@@ -97,6 +101,8 @@ class MshrFile
         retireSlow(now);
     }
 
+    // LTC_HOT_END
+
     std::uint32_t capacity() const { return capacity_; }
     std::uint32_t outstanding() const
     {
@@ -112,6 +118,16 @@ class MshrFile
     std::uint32_t peakOccupancy() const { return peak_; }
 
     void clear();
+
+    /**
+     * LTC_CHECK every representation invariant: occupancy within
+     * capacity, no duplicate outstanding block, the cached
+     * earliest-completion equal to the true minimum, and the presence
+     * filter a superset of the entry set (a clear bit must prove
+     * absence — one missing bit silently drops MSHR merges). Cold
+     * path; panics on the first violation.
+     */
+    void auditInvariants() const;
 
   private:
     struct Entry
@@ -160,6 +176,9 @@ class MshrFile
     std::array<std::uint64_t, 4> present_{};
     std::uint64_t merges_ = 0;
     std::uint32_t peak_ = 0;
+
+    /** Death-test hook: lets the invariant suite corrupt state. */
+    friend struct TestPeer;
 };
 
 } // namespace ltc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/bitops.hh"
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace ltc
@@ -251,6 +252,37 @@ LtCords::exportStats(StatSet &set) const
     set.set("confidence_ups", static_cast<double>(confidenceUps_));
     set.set("confidence_downs", static_cast<double>(confidenceDowns_));
     set.set("onchip_bytes", static_cast<double>(onChipBytes()));
+}
+
+void
+LtCords::auditInvariants() const
+{
+    storage_.auditInvariants();
+    LTC_CHECK(streams_.size() == config_.numFrames,
+              streams_.size(), " stream windows for ",
+              config_.numFrames, " frames");
+    for (std::size_t i = 0; i < streams_.size(); i++) {
+        if (!streams_[i].active)
+            continue;
+        LTC_CHECK(storage_.frameValid(static_cast<std::uint32_t>(i)),
+                  "active stream over invalid frame ", i);
+        LTC_CHECK(streams_[i].streamedPos <= config_.fragmentSignatures,
+                  "stream window of frame ", i, " past fragment end: ",
+                  streams_[i].streamedPos);
+    }
+    for (const PendingBatch &b : pending_) {
+        LTC_CHECK(b.frame < config_.numFrames,
+                  "pending batch for frame ", b.frame, " of ",
+                  config_.numFrames);
+        LTC_CHECK(b.from <= b.to, "pending batch range reversed: [",
+                  b.from, ", ", b.to, ")");
+    }
+    for (const auto &[target, ptr] : outstanding_) {
+        LTC_CHECK(ptr.frame < config_.numFrames,
+                  "outstanding prediction for block ", target,
+                  " points at frame ", ptr.frame, " of ",
+                  config_.numFrames);
+    }
 }
 
 void

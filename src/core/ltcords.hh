@@ -58,6 +58,12 @@ class LtCords : public Prefetcher
     std::string name() const override { return "lt-cords"; }
     /** Export engine counters into @p set. */
     void exportStats(StatSet &set) const override;
+    /**
+     * Audit the off-chip sequence storage plus the engine's own
+     * streaming state (per-frame windows, pending batches,
+     * outstanding-prediction pointers). See Prefetcher.
+     */
+    void auditInvariants() const override;
 
     /** Drop all predictor state (not normally done; see Section 5.5). */
     void clear();

@@ -1,6 +1,7 @@
 #include "core/sequence_storage.hh"
 
 #include "util/bitops.hh"
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace ltc
@@ -162,6 +163,46 @@ SequenceStorage::drainReadBytes()
     const std::uint64_t v = pendingReadBytes_;
     pendingReadBytes_ = 0;
     return v;
+}
+
+void
+SequenceStorage::auditInvariants() const
+{
+    LTC_CHECK(frames_.size() == config_.numFrames, frames_.size(),
+              " frames allocated, configured for ", config_.numFrames);
+    LTC_CHECK(recentKeys_.size() ==
+                  std::max<std::uint32_t>(1, config_.headLookahead),
+              "head-history ring holds ", recentKeys_.size(),
+              " keys for lookahead ", config_.headLookahead);
+
+    std::uint64_t resident = 0;
+    for (std::size_t i = 0; i < frames_.size(); i++) {
+        const Frame &f = frames_[i];
+        if (!f.valid) {
+            LTC_CHECK(f.sigs.empty(), "invalid frame ", i, " holds ",
+                      f.sigs.size(), " signatures");
+            continue;
+        }
+        LTC_CHECK(f.sigs.size() <= config_.fragmentSignatures,
+                  "frame ", i, " overfull: ", f.sigs.size(), " of ",
+                  config_.fragmentSignatures, " signatures");
+        LTC_CHECK((f.headKey & (config_.numFrames - 1)) == i,
+                  "frame link broken: head key of frame ", i,
+                  " maps to frame ",
+                  f.headKey & (config_.numFrames - 1));
+        resident += f.sigs.size();
+    }
+    if (recordFrame_) {
+        LTC_CHECK(*recordFrame_ < frames_.size(), "record cursor ",
+                  *recordFrame_, " outside ", frames_.size(),
+                  " frames");
+        LTC_CHECK(frames_[*recordFrame_].valid,
+                  "record cursor points at invalid frame ",
+                  *recordFrame_);
+    }
+    LTC_CHECK(resident <= recordedTotal_, resident,
+              " resident signatures exceed ", recordedTotal_,
+              " ever recorded");
 }
 
 void

@@ -111,6 +111,16 @@ class SequenceStorage
     /** Drop all recorded sequences. */
     void clear();
 
+    /**
+     * LTC_CHECK every frame-link invariant: a valid frame's head key
+     * must map back to that frame (the direct-mapped link the
+     * streaming path follows), fragments never exceed the configured
+     * length, invalid frames hold nothing, the record cursor points
+     * at a valid frame, and the occupancy counters are mutually
+     * consistent. Cold path; panics on the first violation.
+     */
+    void auditInvariants() const;
+
     /** Configuration the storage was built with. */
     const LtcordsConfig &config() const { return config_; }
 
@@ -143,6 +153,9 @@ class SequenceStorage
     std::uint64_t frameConflicts_ = 0;
     std::uint64_t pendingWriteBytes_ = 0;
     std::uint64_t pendingReadBytes_ = 0;
+
+    /** Death-test hook: lets the invariant suite corrupt state. */
+    friend struct TestPeer;
 };
 
 } // namespace ltc

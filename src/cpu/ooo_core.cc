@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace ltc
@@ -29,6 +30,53 @@ OooCore::ipc() const
     return cycles ? static_cast<double>(instructions_) /
             static_cast<double>(cycles)
                   : 0.0;
+}
+
+namespace
+{
+
+/**
+ * Shared ring audit: entries must be bounded by the newest retire
+ * slot and non-decreasing from the head (insertion order), since
+ * every retirement slot is strictly later than the one before it.
+ */
+void
+auditRing(const std::vector<std::uint64_t> &ring, std::uint64_t head,
+          std::uint64_t size, std::uint64_t last_retire,
+          const char *name)
+{
+    LTC_CHECK(ring.size() == size, name, " ring holds ", ring.size(),
+              " slots, configured for ", size);
+    LTC_CHECK(head < ring.size(), name, " head ", head,
+              " outside ring of ", ring.size());
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < ring.size(); i++) {
+        const std::uint64_t slot = ring[(head + i) % ring.size()];
+        LTC_CHECK(slot <= last_retire, name, " ring slot ", slot,
+                  " ahead of newest retirement ", last_retire);
+        LTC_CHECK(slot >= prev, name, " ring out of insertion order (",
+                  prev, " then ", slot, ")");
+        prev = slot;
+    }
+}
+
+} // namespace
+
+void
+OooCore::auditInvariants() const
+{
+    auditRing(robRing_, robHead_, config_.robSize, lastRetire_, "ROB");
+    auditRing(lsqRing_, lsqHead_, config_.lsqSize, lastRetire_, "LSQ");
+    LTC_CHECK(memInstructions_ <= instructions_, memInstructions_,
+              " memory instructions out of ", instructions_);
+    LTC_CHECK(intervalInstBase_ <= instructions_, "interval base ",
+              intervalInstBase_, " ahead of ", instructions_,
+              " instructions");
+    if (memPending_) {
+        LTC_CHECK(pendingIssueSlot_ >= frontier_,
+                  "pending memory op issued at slot ",
+                  pendingIssueSlot_, " behind frontier ", frontier_);
+    }
 }
 
 void

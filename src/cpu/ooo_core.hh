@@ -70,6 +70,16 @@ class OooCore
     /** IPC over the lifetime of the core. */
     double ipc() const;
 
+    /**
+     * LTC_CHECK every ring invariant: head indices within their
+     * rings, retire slots bounded by the newest retirement and
+     * non-decreasing in insertion order (reversed or clobbered ring
+     * indices silently violate in-order retirement), and instruction
+     * counters mutually consistent. Cold path; panics on the first
+     * violation.
+     */
+    void auditInvariants() const;
+
     /** Start a measurement interval (resets instruction/cycle base). */
     void beginInterval();
     /** Instructions retired in the current interval. */
@@ -104,6 +114,9 @@ class OooCore
 
     InstCount intervalInstBase_ = 0;
     Cycle intervalCycleBase_ = 0;
+
+    /** Death-test hook: lets the invariant suite corrupt state. */
+    friend struct TestPeer;
 };
 
 // ------------------------------------------------------ hot path
@@ -113,6 +126,9 @@ class OooCore
 // whole issue/retire chain compiles into the loop. The ring indices
 // advance by exactly one per retirement, so the wrap is a compare
 // (the old modulo was an integer division per instruction).
+//
+// LTC_HOT_BEGIN: tools/ltc_lint.py bans hash maps, the modulo
+// operator and virtual declarations between these markers.
 
 inline OooCore::Slot
 OooCore::robConstraint() const
@@ -183,6 +199,8 @@ OooCore::completeMem(Cycle completion)
     memInstructions_++;
     memPending_ = false;
 }
+
+// LTC_HOT_END
 
 } // namespace ltc
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace ltc
@@ -43,6 +44,24 @@ Bus::utilization(Cycle horizon) const
         return 0.0;
     return std::min(1.0, static_cast<double>(busyCycles_) /
                              static_cast<double>(horizon));
+}
+
+void
+Bus::auditInvariants() const
+{
+    if (transfers_ == 0) {
+        LTC_CHECK(busyCycles_ == 0 && queueCycles_ == 0 &&
+                      bytesMoved_ == 0 && busyUntil_ == 0,
+                  config_.name, ": idle bus with accounted work");
+        return;
+    }
+    LTC_CHECK(busyUntil_ >= busyCycles_, config_.name,
+              ": busy horizon ", busyUntil_,
+              " behind accumulated occupancy ", busyCycles_);
+    LTC_CHECK(busyCycles_ >= transfers_ * config_.occupancy(0),
+              config_.name, ": ", busyCycles_, " busy cycles from ",
+              transfers_, " transfers of >= ", config_.occupancy(0),
+              " cycles each");
 }
 
 void

@@ -66,6 +66,9 @@ class Bus
      */
     Cycle transfer(Cycle ready, std::uint32_t bytes);
 
+    // LTC_HOT_BEGIN: tools/ltc_lint.py bans hash maps, the modulo
+    // operator and virtual declarations between these markers.
+
     /**
      * transfer() with the occupancy precomputed by the caller:
      * @p occ MUST equal config().occupancy(bytes). The timing
@@ -92,6 +95,8 @@ class Bus
     /** True if a transfer starting at @p now would not queue. */
     bool isFree(Cycle now) const { return busyUntil_ <= now; }
 
+    // LTC_HOT_END
+
     const BusConfig &config() const { return config_; }
 
     /** Total core cycles the bus spent occupied. */
@@ -108,6 +113,15 @@ class Bus
 
     void reset();
 
+    /**
+     * LTC_CHECK the occupancy accounting: the busy horizon is
+     * monotone (it can never lag the accumulated busy cycles, since
+     * transfers serialize from cycle 0), every transfer contributed
+     * at least a bare-request occupancy, and an idle bus has no
+     * accounted work. Cold path; panics on the first violation.
+     */
+    void auditInvariants() const;
+
   private:
     BusConfig config_;
     Cycle busyUntil_ = 0;
@@ -115,6 +129,9 @@ class Bus
     Cycle queueCycles_ = 0;
     std::uint64_t bytesMoved_ = 0;
     std::uint64_t transfers_ = 0;
+
+    /** Death-test hook: lets the invariant suite corrupt state. */
+    friend struct TestPeer;
 };
 
 inline Cycle

@@ -1,10 +1,25 @@
 #include "mem/dram.hh"
 
+#include "util/check.hh"
+#include "util/logging.hh"
+
 namespace ltc
 {
 
 DramModel::DramModel(const DramConfig &config) : config_(config)
 {
+    ltc_assert(config_.chunkBytes > 0, "DRAM with zero chunk size");
+}
+
+void
+DramModel::auditInvariants() const
+{
+    LTC_CHECK(config_.chunkBytes > 0, "zero chunk size");
+    // Latency must be monotone in the transfer size (occupancy
+    // monotonicity: a bigger read can never arrive earlier).
+    LTC_CHECK(latency(config_.chunkBytes) <=
+                  latency(2 * config_.chunkBytes),
+              "latency not monotone in transfer size");
 }
 
 } // namespace ltc

@@ -72,6 +72,9 @@ class DramModel
     std::uint64_t bytesRead() const { return bytesRead_; }
     std::uint64_t bytesWritten() const { return bytesWritten_; }
 
+    /** LTC_CHECK the configuration/latency invariants (cold path). */
+    void auditInvariants() const;
+
   private:
     DramConfig config_;
     std::uint64_t bytesRead_ = 0;

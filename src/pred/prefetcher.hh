@@ -118,6 +118,14 @@ class Prefetcher
     virtual void exportStats(StatSet &set) const { (void)set; }
 
     /**
+     * LTC_CHECK the predictor's internal structural invariants
+     * (LT-cords audits its sequence storage and streaming state).
+     * Cold path: engines call this at batch boundaries when auditing
+     * is enabled (util/check.hh). Default: nothing to audit.
+     */
+    virtual void auditInvariants() const {}
+
+    /**
      * Off-chip traffic this predictor generated for its own metadata
      * since the last call (bytes): {writes, reads}. LT-cords overrides
      * this to report sequence-creation and sequence-fetch traffic.

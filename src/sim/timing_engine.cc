@@ -445,7 +445,9 @@ TimingSim::run(TraceSource &src, std::uint64_t refs)
     if (pred_ == nullptr && !config_.hier.perfectL1 &&
         hier_.l1d().prefetchFills() == 0 &&
         hier_.l2().prefetchFills() == 0) {
-        return runBaseline(src, refs);
+        const std::uint64_t done = runBaseline(src, refs);
+        maybeAudit();
+        return done;
     }
 
     std::uint64_t done = 0;
@@ -461,7 +463,30 @@ TimingSim::run(TraceSource &src, std::uint64_t refs)
         if (got < want)
             break; // end of trace
     }
+    maybeAudit();
     return done;
+}
+
+void
+TimingSim::auditInvariants() const
+{
+    hier_.l1d().auditInvariants();
+    hier_.l2().auditInvariants();
+    mshrs_.auditInvariants();
+    core_.auditInvariants();
+    l1l2Req_.auditInvariants();
+    l1l2Data_.auditInvariants();
+    memReq_.auditInvariants();
+    memData_.auditInvariants();
+    pfPace_.auditInvariants();
+    metaBus_.auditInvariants();
+    dram_.auditInvariants();
+    if (pred_)
+        pred_->auditInvariants();
+    for (const auto &entry : inflight_) {
+        LTC_CHECK(hier_.l1d().blockAlign(entry.first) == entry.first,
+                  "unaligned in-flight block ", entry.first);
+    }
 }
 
 TimingStats

@@ -39,6 +39,7 @@
 #include "mem/dram.hh"
 #include "pred/prefetcher.hh"
 #include "trace/trace.hh"
+#include "util/check.hh"
 #include "util/types.hh"
 
 namespace ltc
@@ -137,7 +138,25 @@ class TimingSim : public CacheListener
                     bool victim_was_untouched_prefetch,
                     std::uint8_t victim_meta) override;
 
+    /**
+     * Audit every structure the timing model owns: both caches, the
+     * MSHR file, all six bus channels, the DRAM model, the core's
+     * rings, the predictor, and the engine-side in-flight table.
+     * run() calls this automatically after every batch of work when
+     * auditing is enabled — debug builds, or LTC_AUDIT=1 in the
+     * environment (util/check.hh).
+     */
+    void auditInvariants() const;
+
   private:
+    /** The run()-boundary audit hook (no-op unless auditing is on). */
+    void
+    maybeAudit() const
+    {
+        if (ltcAuditEnabled())
+            auditInvariants();
+    }
+
     /**
      * Trimmed kernel for predictor-less runs: same event sequence as
      * step() — core issue/retire, MSHR allocate/merge/retire, bus and

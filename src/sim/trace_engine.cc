@@ -432,15 +432,20 @@ TraceEngine::run(TraceSource &src, std::uint64_t refs)
     if (pred_ == nullptr && !hierConfig_.perfectL1 &&
         hier_.l1d().prefetchFills() == 0 &&
         hier_.l2().prefetchFills() == 0) {
-        return runBaseline(src, refs);
+        const std::uint64_t done = runBaseline(src, refs);
+        maybeAudit();
+        return done;
     }
 
     // Predictor runs take the register-resident batched kernel.
     // (Fills are clamped to the caller's budget inside both kernels:
     // a multi-programmed quantum must not consume records its next
     // quantum replays.)
-    if (pred_ != nullptr)
-        return runPredicted(src, refs);
+    if (pred_ != nullptr) {
+        const std::uint64_t done = runPredicted(src, refs);
+        maybeAudit();
+        return done;
+    }
 
     // Predictor-less but with prefetch state present (hand-injected
     // fills, perfect L1): the exact scalar path.
@@ -455,7 +460,17 @@ TraceEngine::run(TraceSource &src, std::uint64_t refs)
         if (got < want)
             break; // end of trace
     }
+    maybeAudit();
     return done;
+}
+
+void
+TraceEngine::auditInvariants() const
+{
+    hier_.l1d().auditInvariants();
+    hier_.l2().auditInvariants();
+    if (pred_)
+        pred_->auditInvariants();
 }
 
 CoverageStats

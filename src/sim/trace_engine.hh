@@ -34,6 +34,7 @@
 #include "mem/bandwidth.hh"
 #include "pred/prefetcher.hh"
 #include "trace/trace.hh"
+#include "util/check.hh"
 #include "util/types.hh"
 
 namespace ltc
@@ -146,7 +147,23 @@ class TraceEngine : public CacheListener
                     bool victim_was_untouched_prefetch,
                     std::uint8_t victim_meta) override;
 
+    /**
+     * Audit both caches and the attached predictor (see
+     * Cache::auditInvariants). run() calls this automatically after
+     * every batch of work when auditing is enabled — debug builds,
+     * or LTC_AUDIT=1 in the environment (util/check.hh).
+     */
+    void auditInvariants() const;
+
   private:
+    /** The run()-boundary audit hook (no-op unless auditing is on). */
+    void
+    maybeAudit() const
+    {
+        if (ltcAuditEnabled())
+            auditInvariants();
+    }
+
     void issuePrefetch(const PrefetchRequest &req);
     void drainPredictor();
     /** Trimmed kernel for predictor-less runs (see run()). */

@@ -1,0 +1,20 @@
+#include "util/check.hh"
+
+#include <cstdlib>
+
+namespace ltc
+{
+
+bool
+ltcAuditEnabled()
+{
+    static const bool enabled = [] {
+        if (LTC_DCHECKS_ENABLED)
+            return true;
+        const char *env = std::getenv("LTC_AUDIT");
+        return env != nullptr && env[0] != '\0' && env[0] != '0';
+    }();
+    return enabled;
+}
+
+} // namespace ltc

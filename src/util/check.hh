@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Invariant-check macros for the hand-rolled hot-path structures.
+ *
+ * The batched kernels (PRs 4-5) trade hash maps and virtual dispatch
+ * for packed tag words, raw SoA arrays, presence-filter bitmaps and
+ * modulo-free rings — representations where a single off-by-one
+ * corrupts results silently instead of crashing. Two tiers of checks
+ * guard them:
+ *
+ * LTC_CHECK(cond, ...)  - always compiled in, every build type. For
+ *                         structural invariants whose cost is outside
+ *                         the per-reference hot path (auditInvariants
+ *                         walks, batch-boundary reconciliation).
+ *                         Panics (aborts) on failure, like ltc_assert,
+ *                         but reports the violated condition as an
+ *                         invariant so audit failures read distinctly
+ *                         from precondition failures.
+ *
+ * LTC_DCHECK(cond, ...) - compiled out in Release (NDEBUG) builds; the
+ *                         condition is NOT evaluated there. For checks
+ *                         that would sit on the per-reference path.
+ *                         Define LTC_FORCE_DCHECKS to keep them in a
+ *                         Release build (the sanitizer presets do).
+ *
+ * The structures expose `auditInvariants()` methods built from
+ * LTC_CHECK; the engines call them at batch boundaries under
+ * LTC_AUDIT_INVARIANTS (see ltcAuditEnabled below), and the
+ * property/fuzz and death-test suites call them directly.
+ */
+
+#ifndef LTC_UTIL_CHECK_HH
+#define LTC_UTIL_CHECK_HH
+
+#include "util/logging.hh"
+
+/** Always-on structural invariant check; panics with context. */
+#define LTC_CHECK(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::ltc::panicImpl(__FILE__, __LINE__,                          \
+                ::ltc::detail::format("invariant '" #cond "' violated: ", \
+                                      ##__VA_ARGS__));                    \
+        }                                                                 \
+    } while (0)
+
+#if !defined(NDEBUG) || defined(LTC_FORCE_DCHECKS)
+#define LTC_DCHECKS_ENABLED 1
+/** Debug-only invariant check; vanishes (unevaluated) under NDEBUG. */
+#define LTC_DCHECK(cond, ...) LTC_CHECK(cond, ##__VA_ARGS__)
+#else
+#define LTC_DCHECKS_ENABLED 0
+#define LTC_DCHECK(cond, ...) \
+    do {                      \
+    } while (0)
+#endif
+
+namespace ltc
+{
+
+/**
+ * True when the engines should run full auditInvariants() sweeps at
+ * batch boundaries: any build with dchecks enabled, or any build run
+ * with LTC_AUDIT=1 in the environment (the latter lets a Release
+ * binary be audited without recompiling). The result is computed once.
+ */
+bool ltcAuditEnabled();
+
+} // namespace ltc
+
+#endif // LTC_UTIL_CHECK_HH

@@ -108,6 +108,7 @@ TEST_P(FuzzProperty, TraceEngineInvariants)
     auto pred = makePredictor("lt-cords", paperHierarchy());
     TraceEngine engine(paperHierarchy(), pred.get());
     engine.run(*src, 100'000);
+    engine.auditInvariants(); // full structural sweep on fuzzed state
     const auto &s = engine.stats();
     EXPECT_EQ(s.accesses, 100'000u);
     EXPECT_LE(s.l1Misses, s.accesses);
@@ -124,6 +125,7 @@ TEST_P(FuzzProperty, TimingEngineInvariants)
     auto pred = makePredictor("lt-cords", cfg.hier, true);
     TimingSim sim(cfg, pred.get());
     sim.run(*src, 60'000);
+    sim.auditInvariants(); // full structural sweep on fuzzed state
     const auto s = sim.stats();
     EXPECT_GT(s.cycles, 0u);
     EXPECT_GT(s.ipc, 0.0);
@@ -193,6 +195,7 @@ TEST_P(FuzzProperty, LtCordsPointersStayValid)
     auto src = fuzzWorkload(GetParam());
     TraceEngine engine(paperHierarchy(), &ltc);
     engine.run(*src, 80'000);
+    ltc.auditInvariants(); // frame links survive constant conflicts
     EXPECT_GT(ltc.storage().frameConflicts(), 0u);
 }
 
@@ -352,7 +355,14 @@ TEST_P(MshrProperty, RandomScheduleMatchesNaiveModelExactly)
             << "op " << op;
         ASSERT_LE(file.outstanding(), capacity);
         ASSERT_EQ(file.peakOccupancy(), naive.peakOccupancy());
+
+        // Representation invariants (presence filter, cached
+        // earliest) hold at every point of the random schedule, not
+        // just when the behaviour happens to match the naive model.
+        if (op % 256 == 0)
+            file.auditInvariants();
     }
+    file.auditInvariants();
 }
 
 TEST_P(MshrProperty, BurstRetireEqualsSingleStepping)
@@ -388,6 +398,8 @@ TEST_P(MshrProperty, BurstRetireEqualsSingleStepping)
         ASSERT_EQ(burst.outstanding(), stepped.outstanding())
             << "round " << round;
         ASSERT_EQ(burst.allocReadyAt(now), stepped.allocReadyAt(now));
+        burst.auditInvariants();
+        stepped.auditInvariants();
     }
 }
 
@@ -438,8 +450,11 @@ TEST_P(BusProperty, RandomScheduleObeysOccupancyAlgebra)
         ASSERT_EQ(bus.queueCycles(), queue_sum);
         ASSERT_EQ(bus.bytesMoved(), bytes_sum);
         ASSERT_LE(bus.utilization(busy_until), 1.0);
+        if (i % 256 == 0)
+            bus.auditInvariants();
     }
     EXPECT_EQ(bus.transfers(), 10'000u);
+    bus.auditInvariants();
 }
 
 TEST_P(BusProperty, PrecomputedOccupancyPathIsIdentical)
@@ -466,6 +481,8 @@ TEST_P(BusProperty, PrecomputedOccupancyPathIsIdentical)
     EXPECT_EQ(plain.queueCycles(), pre.queueCycles());
     EXPECT_EQ(plain.bytesMoved(), pre.bytesMoved());
     EXPECT_EQ(plain.transfers(), pre.transfers());
+    plain.auditInvariants();
+    pre.auditInvariants();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BusProperty,

@@ -1,0 +1,13 @@
+// Fixture: a pinned golden table with no regeneration hook (the
+// golden-print environment variable) must be flagged — tables that
+// can only be updated by hand go stale.
+struct Row
+{
+    const char *workload;
+    unsigned long misses;
+};
+
+const Row kTraceGolden[] = {
+    {"mcf", 123456},
+    {"swim", 654321},
+};

@@ -1,0 +1,19 @@
+// Fixture: a golden table whose file wires up the LTC_GOLDEN_PRINT
+// regeneration hook is clean.
+#include <cstdlib>
+
+struct Row
+{
+    const char *workload;
+    unsigned long misses;
+};
+
+const Row kTraceGolden[] = {
+    {"mcf", 123456},
+};
+
+bool
+regenerate()
+{
+    return std::getenv("LTC_GOLDEN_PRINT") != nullptr;
+}

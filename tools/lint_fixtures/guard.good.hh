@@ -1,0 +1,10 @@
+// Fixture: the guard matches the path-derived convention
+// (lint_fixtures/ stands in for src/ in the self-test), so the
+// header is clean.
+
+#ifndef LTC_GUARD_GOOD_HH
+#define LTC_GUARD_GOOD_HH
+
+inline unsigned mask(unsigned x) { return x & 63u; }
+
+#endif // LTC_GUARD_GOOD_HH

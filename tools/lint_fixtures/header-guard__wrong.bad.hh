@@ -1,0 +1,9 @@
+// Fixture: an include guard that does not match the path-derived
+// convention must be flagged.
+
+#ifndef SOME_UNRELATED_GUARD_HH
+#define SOME_UNRELATED_GUARD_HH
+
+inline unsigned mask(unsigned x) { return x & 63u; }
+
+#endif // SOME_UNRELATED_GUARD_HH

@@ -1,0 +1,6 @@
+// Fixture: the modulo operator inside a hot region must be flagged
+// (ring indices wrap by compare, set indices by mask).
+
+// LTC_HOT_BEGIN
+unsigned wrap(unsigned head, unsigned size) { return head % size; }
+// LTC_HOT_END

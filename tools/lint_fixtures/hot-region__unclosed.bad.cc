@@ -1,0 +1,4 @@
+// Fixture: an LTC_HOT_BEGIN that is never closed must be flagged.
+
+// LTC_HOT_BEGIN
+unsigned mask(unsigned x) { return x & 7u; }

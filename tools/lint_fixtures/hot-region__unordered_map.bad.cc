@@ -1,0 +1,7 @@
+// Fixture: a hash container inside a marked hot region must be
+// flagged (the kernels use packed SoA arrays instead).
+#include <unordered_map>
+
+// LTC_HOT_BEGIN
+std::unordered_map<unsigned long, unsigned long> inflight;
+// LTC_HOT_END

@@ -1,0 +1,9 @@
+// Fixture: a virtual declaration inside a hot region must be flagged
+// (the batched kernels are devirtualised).
+
+// LTC_HOT_BEGIN
+struct Hook
+{
+    virtual void fire() = 0;
+};
+// LTC_HOT_END

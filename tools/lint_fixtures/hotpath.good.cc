@@ -1,0 +1,21 @@
+// Fixture: a clean hot region. Mentions of the banned constructs in
+// comments ("no % modulo, no virtual, no std::unordered_map here")
+// and string literals must NOT trip the scan, and code outside the
+// region is unconstrained.
+#include <string>
+
+// LTC_HOT_BEGIN
+// The old code used head % size and a virtual hook; both are gone.
+unsigned wrap(unsigned head, unsigned size)
+{
+    const char *label = "utilization %"; // '%' in a string is fine
+    (void)label;
+    unsigned next = head + 1;
+    if (next == size)
+        next = 0;
+    return next;
+}
+// LTC_HOT_END
+
+// Outside the region the operator is legal.
+unsigned modOutside(unsigned a, unsigned b) { return a % b; }

@@ -1,0 +1,3 @@
+// Fixture: NOT in the regtree LTC_BENCHES list — the registration
+// rule must flag it.
+int main() { return 0; }

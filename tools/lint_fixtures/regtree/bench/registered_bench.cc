@@ -1,0 +1,2 @@
+// Fixture: its stem appears in the regtree LTC_BENCHES list.
+int main() { return 0; }

@@ -1,0 +1,3 @@
+// Fixture: NOT listed in the regtree CMakeLists.txt — the
+// registration rule must flag it.
+int orphanTest() { return 0; }

@@ -1,0 +1,2 @@
+// Fixture: listed in the regtree CMakeLists.txt.
+int registeredTest() { return 0; }
