@@ -96,7 +96,7 @@ main(int argc, char **argv)
     }
     ExperimentRunner::assignSeeds(cells);
 
-    auto results = runner.run(cells, [&](const RunCell &cell,
+    auto results = sink.run(runner, cells, [&](const RunCell &cell,
                                          RunResult &r) {
         const CellSpec &spec = specs[cell.index];
         LtcordsConfig cfg = paperLtcords(paperHierarchy());

@@ -23,6 +23,15 @@
  *   LTC_TRACE_DIR  directory of captured .ltct trace containers;
  *                  each is registered as workload "trace:<stem>"
  *                  and swept like a built-in (also `--trace-dir`)
+ *   LTC_CELL_CACHE directory of the content-addressed cell cache
+ *                  (sim/cell_store.hh; also `--cell-cache <dir>`):
+ *                  sweeps consult it before simulating, so repeat
+ *                  runs skip finished cells and killed runs resume
+ *   LTC_SWEEP_PROCS run cached sweeps with N cooperating processes
+ *                  (also `--procs <n>`; needs LTC_CELL_CACHE);
+ *                  exports stay byte-identical for any N
+ *   LTC_CELL_STATS print one `[cell-cache] ... sims=N ...` counter
+ *                  line to stderr at finish()
  */
 
 #ifndef LTC_BENCH_BENCH_COMMON_HH

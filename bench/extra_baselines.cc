@@ -43,7 +43,7 @@ main(int argc, char **argv)
     const auto cells =
         ExperimentRunner::cross(workloads, predictors);
 
-    auto results = runner.run(cells, [](const RunCell &cell,
+    auto results = sink.run(runner, cells, [](const RunCell &cell,
                                         RunResult &r) {
         r.set("ipc", runIpc(cell.workload, cell.config));
     });

@@ -36,8 +36,8 @@ main(int argc, char **argv)
     for (auto c : sig_capacities)
         capacity_labels.push_back(std::to_string(c >> 10) + "K sigs");
 
-    auto results = runner.run(
-        ExperimentRunner::cross(workloads, capacity_labels),
+    auto results = sink.run(
+        runner, ExperimentRunner::cross(workloads, capacity_labels),
         [&](const RunCell &cell, RunResult &r) {
             const std::uint32_t sigs =
                 sig_capacities[ExperimentRunner::configIndex(

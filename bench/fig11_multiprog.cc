@@ -88,7 +88,7 @@ main(int argc, char **argv)
     }
     ExperimentRunner::assignSeeds(cells);
 
-    auto results = runner.run(cells, [](const RunCell &cell,
+    auto results = sink.run(runner, cells, [](const RunCell &cell,
                                         RunResult &r) {
         r.set("coverage", cell.config.empty()
             ? standalone(cell.workload)

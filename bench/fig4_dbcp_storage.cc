@@ -40,8 +40,8 @@ main(int argc, char **argv)
         configs.push_back(std::to_string(kb) + "KB");
     const std::size_t stride = configs.size();
 
-    auto results = runner.run(
-        ExperimentRunner::cross(workloads, configs),
+    auto results = sink.run(
+        runner, ExperimentRunner::cross(workloads, configs),
         [&](const RunCell &cell, RunResult &r) {
             const std::size_t c =
                 ExperimentRunner::configIndex(cell, stride);

@@ -25,7 +25,7 @@ main(int argc, char **argv)
     const auto cells = ExperimentRunner::cross(
         benchWorkloads({"all"}), predictors);
 
-    auto results = runner.run(cells, [](const RunCell &cell,
+    auto results = sink.run(runner, cells, [](const RunCell &cell,
                                         RunResult &r) {
         auto pred = makePredictor(cell.config, paperHierarchy());
         auto src = makeWorkload(cell.workload);

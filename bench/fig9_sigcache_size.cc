@@ -48,8 +48,8 @@ main(int argc, char **argv)
     std::vector<std::string> size_labels;
     for (const std::uint32_t entries : sizes)
         size_labels.push_back(std::to_string(entries));
-    auto results = runner.run(
-        ExperimentRunner::cross(workloads, size_labels),
+    auto results = sink.run(
+        runner, ExperimentRunner::cross(workloads, size_labels),
         [&](const RunCell &cell, RunResult &r) {
             r.set("coverage",
                   coverageAt(cell.workload,

@@ -262,6 +262,9 @@ main(int argc, char **argv)
     }
     ExperimentRunner::assignSeeds(cells);
 
+    // Deliberately NOT sink.run(): these cells measure host timing,
+    // so their results are not a pure function of the cell identity
+    // and must never be served from the cell cache.
     auto results = runner.run(cells, [](const RunCell &cell,
                                         RunResult &r) {
         r.set("ns_per_op", kMicros[cell.index].fn());

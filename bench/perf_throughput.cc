@@ -91,6 +91,9 @@ main(int argc, char **argv)
         benchWorkloads({"swim", "mcf", "em3d", "gzip"});
     const auto cells = ExperimentRunner::cross(workloads, config_names);
 
+    // Deliberately NOT sink.run(): refs_per_sec is a host-dependent
+    // self-timed metric, so caching or resuming it across runs would
+    // serve stale timings as fresh measurements.
     auto results = runner.run(cells, [](const RunCell &cell,
                                         RunResult &r) {
         const EngineConfig &cfg =

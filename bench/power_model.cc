@@ -36,7 +36,7 @@ main(int argc, char **argv)
 
     const auto cells =
         ExperimentRunner::cells(benchWorkloads({"all"}));
-    auto results = runner.run(cells, [&](const RunCell &cell,
+    auto results = sink.run(runner, cells, [&](const RunCell &cell,
                                          RunResult &r) {
         TraceEngine engine(paperHierarchy(), nullptr);
         auto src = makeWorkload(cell.workload);

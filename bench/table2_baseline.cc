@@ -21,7 +21,7 @@ main(int argc, char **argv)
 
     const auto cells =
         ExperimentRunner::cells(benchWorkloads({"all"}));
-    auto results = runner.run(cells, [](const RunCell &cell,
+    auto results = sink.run(runner, cells, [](const RunCell &cell,
                                         RunResult &r) {
         TimingConfig cfg = paperTiming();
         TimingSim sim(cfg, nullptr);

@@ -75,7 +75,7 @@ main(int argc, char **argv)
     const auto workloads = benchWorkloads({"all"});
     const auto cells = ExperimentRunner::cross(workloads, labels);
 
-    auto results = runner.run(cells, [](const RunCell &cell,
+    auto results = sink.run(runner, cells, [](const RunCell &cell,
                                         RunResult &r) {
         r.set("ipc",
               runIpc(cell.workload, configByLabel(cell.config)));

@@ -1,0 +1,663 @@
+#include "sim/cell_store.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/experiment.hh"
+#include "trace/workloads.hh"
+#include "util/check.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+extern char **environ;
+
+namespace ltc
+{
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------- CellKey
+
+void
+CellKey::add(const std::string &field, const std::string &value)
+{
+    // Escape the separator characters so canonical() stays an
+    // injective encoding of the field set: equal canonical strings
+    // if and only if equal (field, value) multisets.
+    std::string escaped;
+    escaped.reserve(value.size());
+    for (const char ch : value) {
+        if (ch == '\\' || ch == '\n' || ch == '=')
+            escaped += '\\';
+        escaped += ch;
+    }
+    fields_.emplace_back(field, std::move(escaped));
+}
+
+void
+CellKey::add(const std::string &field, std::uint64_t value)
+{
+    fields_.emplace_back(field, std::to_string(value));
+}
+
+std::string
+CellKey::canonical() const
+{
+    auto sorted = fields_;
+    std::sort(sorted.begin(), sorted.end());
+    std::string out;
+    for (const auto &[field, value] : sorted) {
+        out += field;
+        out += '=';
+        out += value;
+        out += '\n';
+    }
+    return out;
+}
+
+std::uint64_t
+CellKey::hash() const
+{
+    const std::string text = canonical();
+    return fnv1a64(
+        reinterpret_cast<const unsigned char *>(text.data()),
+        text.size());
+}
+
+std::string
+cellHashHex(std::uint64_t hash)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+// ------------------------------------------------------ record files
+
+namespace
+{
+
+/** The record field the integrity checksum sits in, checksum last. */
+constexpr const char checksumMarker[] = ", \"checksum\": ";
+
+/** Serialize @p r as the on-disk record for @p hash. */
+std::string
+encodeCellRecord(const std::string &epoch, std::uint64_t hash,
+                 const RunResult &r)
+{
+    std::string out = "{\"schema\": 1, \"epoch\": \"";
+    out += epoch;
+    out += "\", \"hash\": \"";
+    out += cellHashHex(hash);
+    out += "\", \"records\": ";
+    out += resultsToJson({r});
+    out += checksumMarker;
+    const std::uint64_t ck = fnv1a64(
+        reinterpret_cast<const unsigned char *>(out.data()),
+        out.size());
+    out += std::to_string(ck);
+    out += "}\n";
+    return out;
+}
+
+/**
+ * Value of the first `"key": "..."` field in @p text; empty if the
+ * key is absent. Only called on checksum-verified records, whose
+ * epoch/hash fields precede any free-form content and contain no
+ * escapes by construction.
+ */
+std::string
+extractStringField(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": \"";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t begin = at + needle.size();
+    const std::size_t end = text.find('"', begin);
+    if (end == std::string::npos)
+        return "";
+    return text.substr(begin, end - begin);
+}
+
+} // namespace
+
+CellRecordStatus
+probeCellRecord(const std::string &path,
+                const std::string &expected_epoch,
+                std::uint64_t expected_hash, RunResult *out,
+                std::string *out_epoch)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return CellRecordStatus::Corrupt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in)
+        return CellRecordStatus::Corrupt;
+    const std::string text = buf.str();
+
+    // Integrity first: nothing below touches the JSON parser (which
+    // is fatal on malformed input) until the checksum has proven the
+    // file is exactly what store() wrote.
+    const std::size_t at = text.rfind(checksumMarker);
+    if (at == std::string::npos)
+        return CellRecordStatus::Corrupt;
+    const std::size_t prefix =
+        at + (sizeof(checksumMarker) - 1);
+    std::uint64_t claimed = 0;
+    const char *digits = text.data() + prefix;
+    const char *end = text.data() + text.size();
+    const auto res = std::from_chars(digits, end, claimed);
+    if (res.ec != std::errc{})
+        return CellRecordStatus::Corrupt;
+    const std::string tail(res.ptr, end);
+    if (tail != "}\n" && tail != "}")
+        return CellRecordStatus::Corrupt;
+    const std::uint64_t actual = fnv1a64(
+        reinterpret_cast<const unsigned char *>(text.data()), prefix);
+    if (actual != claimed)
+        return CellRecordStatus::Corrupt;
+
+    if (out_epoch)
+        *out_epoch = extractStringField(text, "epoch");
+
+    // A record renamed onto the wrong hash is corruption, not a hit.
+    if (extractStringField(text, "hash") != cellHashHex(expected_hash))
+        return CellRecordStatus::Corrupt;
+    if (extractStringField(text, "epoch") != expected_epoch)
+        return CellRecordStatus::StaleEpoch;
+
+    std::vector<RunResult> records = resultsFromJson(text);
+    if (records.size() != 1)
+        return CellRecordStatus::Corrupt;
+    if (out)
+        *out = std::move(records.front());
+    return CellRecordStatus::Ok;
+}
+
+// --------------------------------------------------------- CellStore
+
+CellStore::CellStore(std::string dir, std::string epoch)
+    : dir_(std::move(dir)),
+      epoch_(epoch.empty() ? cellCodeEpoch() : std::move(epoch))
+{
+    LTC_CHECK(!dir_.empty(), "cell store needs a directory");
+    for (const char ch : epoch_) {
+        LTC_CHECK(ch != '"' && ch != '\\' &&
+                      static_cast<unsigned char>(ch) >= 0x20,
+                  "epoch token '", epoch_,
+                  "' must embed verbatim in JSON records");
+    }
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        ltc_fatal("LTC_CELL_CACHE: cannot create directory '", dir_,
+                  "': ", ec.message());
+}
+
+std::string
+CellStore::recordPath(std::uint64_t hash) const
+{
+    return dir_ + "/" + cellHashHex(hash) + ".json";
+}
+
+std::string
+CellStore::claimPath(std::uint64_t hash) const
+{
+    return dir_ + "/" + cellHashHex(hash) + ".claim";
+}
+
+bool
+CellStore::lookup(std::uint64_t hash, RunResult &out)
+{
+    const std::string path = recordPath(hash);
+    std::error_code ec;
+    if (!fs::exists(path, ec) || ec) {
+        std::lock_guard<std::mutex> hold(lock_);
+        stats_.lookups++;
+        stats_.misses++;
+        return false;
+    }
+    const CellRecordStatus status =
+        probeCellRecord(path, epoch_, hash, &out);
+    std::lock_guard<std::mutex> hold(lock_);
+    stats_.lookups++;
+    if (status == CellRecordStatus::Ok) {
+        stats_.hits++;
+        return true;
+    }
+    stats_.misses++;
+    if (status == CellRecordStatus::Corrupt)
+        stats_.corrupt++;
+    else
+        stats_.stale++;
+    return false;
+}
+
+void
+CellStore::store(std::uint64_t hash, const RunResult &r)
+{
+    const std::string path = recordPath(hash);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    const std::string text = encodeCellRecord(epoch_, hash, r);
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (out)
+            out << text;
+        if (!out) {
+            // Best effort: a store that cannot be written costs a
+            // recompute next run, never a wrong result.
+            ltc_warn("cell store: cannot write '", tmp, "'");
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        ltc_warn("cell store: cannot publish '", path,
+                 "': ", ec.message());
+        fs::remove(tmp, ec);
+        return;
+    }
+    std::lock_guard<std::mutex> hold(lock_);
+    stats_.stores++;
+}
+
+bool
+CellStore::claim(std::uint64_t hash)
+{
+    const std::string path = claimPath(hash);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (out)
+            out << ::getpid() << "\n";
+        if (!out) {
+            ltc_warn("cell store: cannot write claim '", tmp, "'");
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    // link(2) is atomic-exclusive: exactly one of N racing processes
+    // sees success, everyone else gets EEXIST.
+    const int rc = ::link(tmp.c_str(), path.c_str());
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    if (rc != 0) {
+        if (saved != EEXIST)
+            ltc_warn("cell store: claim link '", path,
+                     "' failed: ", std::strerror(saved));
+        return false;
+    }
+    std::lock_guard<std::mutex> hold(lock_);
+    stats_.claims++;
+    return true;
+}
+
+long
+CellStore::claimOwner(std::uint64_t hash) const
+{
+    std::ifstream in(claimPath(hash));
+    long pid = 0;
+    if (!(in >> pid) || pid <= 0)
+        return 0;
+    return pid;
+}
+
+void
+CellStore::clearStale()
+{
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (entry.path().extension() == ".claim" ||
+            name.find(".tmp.") != std::string::npos) {
+            std::error_code rm;
+            fs::remove(entry.path(), rm);
+        }
+    }
+    if (ec)
+        ltc_warn("cell store: cannot scan '", dir_,
+                 "': ", ec.message());
+}
+
+void
+CellStore::noteSim()
+{
+    std::lock_guard<std::mutex> hold(lock_);
+    stats_.sims++;
+}
+
+CellStoreStats
+CellStore::stats() const
+{
+    std::lock_guard<std::mutex> hold(lock_);
+    return stats_;
+}
+
+void
+CellStore::auditInvariants() const
+{
+    const CellStoreStats s = stats();
+    LTC_CHECK(!dir_.empty() && !epoch_.empty(),
+              "cell store identity lost");
+    LTC_CHECK(s.hits + s.misses == s.lookups,
+              "cell store lookup accounting broken: ", s.hits, " + ",
+              s.misses, " != ", s.lookups);
+    LTC_CHECK(s.corrupt + s.stale <= s.misses,
+              "more bad records (", s.corrupt, " corrupt + ", s.stale,
+              " stale) than misses (", s.misses, ")");
+    LTC_CHECK(s.sims <= s.misses,
+              "simulated ", s.sims, " cells with only ", s.misses,
+              " cache misses: a hit was re-simulated");
+    LTC_CHECK(s.stores <= s.sims,
+              "published ", s.stores, " records from ", s.sims,
+              " simulations");
+}
+
+void
+CellStore::maybeAudit() const
+{
+    if (ltcAuditEnabled())
+        auditInvariants();
+}
+
+// ------------------------------------------------------ cell hashing
+
+std::uint64_t
+workloadDigest(const std::string &name)
+{
+    if (name.rfind("trace:", 0) != 0)
+        return 0;
+
+    // One digest per container file, however many cells sweep it.
+    static std::mutex lock;
+    static std::map<std::string, std::uint64_t> cache;
+
+    std::string path;
+    for (const auto &w : fileWorkloads()) {
+        if (w.info.name == name) {
+            path = w.path;
+            break;
+        }
+    }
+    if (path.empty())
+        ltc_fatal("workload '", name,
+                  "' is not a registered trace workload");
+
+    std::lock_guard<std::mutex> hold(lock);
+    const auto it = cache.find(path);
+    if (it != cache.end())
+        return it->second;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        ltc_fatal("cannot read trace container '", path, "'");
+    std::uint64_t digest = 14695981039346656037ULL;
+    char buf[1 << 16];
+    while (in) {
+        in.read(buf, sizeof(buf));
+        digest = fnv1a64(
+            reinterpret_cast<const unsigned char *>(buf),
+            static_cast<std::size_t>(in.gcount()), digest);
+    }
+    if (!in.eof())
+        ltc_fatal("error reading trace container '", path, "'");
+    cache.emplace(path, digest);
+    return digest;
+}
+
+std::uint64_t
+cellHash(const SweepSpec &spec, const RunCell &cell,
+         const std::string &epoch)
+{
+    CellKey key;
+    key.add("epoch", epoch);
+    key.add("bench", spec.bench);
+    key.add("segment", spec.segment);
+    key.add("workload", cell.workload);
+    key.add("workload_digest", workloadDigest(cell.workload));
+    key.add("config", cell.config);
+    key.add("seed", cell.seed);
+    // Benches size their sweeps from the LTC_REFS budget before the
+    // cells are built, so the raw knob is part of cell identity.
+    const char *refs = std::getenv("LTC_REFS");
+    key.add("refs", std::string(refs ? refs : ""));
+    return key.hash();
+}
+
+// ------------------------------------------------------- sweep modes
+
+namespace
+{
+
+/** Copy @p src's metrics into @p dst (identity stays @p dst's). */
+void
+adoptMetrics(RunResult &dst, const RunResult &src)
+{
+    for (const auto &[key, value] : src.metrics())
+        dst.set(key, value);
+}
+
+/** True while @p pid names a live process we may not own. */
+bool
+processAlive(long pid)
+{
+    return ::kill(static_cast<pid_t>(pid), 0) == 0 ||
+           errno == EPERM;
+}
+
+} // namespace
+
+std::vector<RunResult>
+runCellsCached(const ExperimentRunner &runner, CellStore &store,
+               const SweepSpec &spec,
+               const std::vector<RunCell> &cells, const CellFn &fn)
+{
+    std::vector<RunResult> results(cells.size());
+    runner.forEachIndex(cells.size(), [&](std::size_t i) {
+        results[i].cell = cells[i];
+        const std::uint64_t h =
+            cellHash(spec, cells[i], store.epoch());
+        RunResult cached;
+        if (store.lookup(h, cached)) {
+            adoptMetrics(results[i], cached);
+            return;
+        }
+        store.noteSim();
+        fn(cells[i], results[i]);
+        store.store(h, results[i]);
+    });
+    store.maybeAudit();
+    return results;
+}
+
+std::vector<RunResult>
+runCellsClaiming(CellStore &store, const SweepSpec &spec,
+                 const std::vector<RunCell> &cells, const CellFn &fn,
+                 std::size_t start_offset)
+{
+    const std::size_t n = cells.size();
+    std::vector<RunResult> results(n);
+    if (n == 0)
+        return results;
+
+    std::vector<std::uint64_t> hashes(n);
+    std::vector<char> done(n, 0);
+    for (std::size_t i = 0; i < n; i++) {
+        hashes[i] = cellHash(spec, cells[i], store.epoch());
+        results[i].cell = cells[i];
+    }
+
+    auto compute = [&](std::size_t i) {
+        store.noteSim();
+        RunResult r;
+        r.cell = cells[i];
+        fn(cells[i], r);
+        store.store(hashes[i], r);
+        // Use the direct result: correct even if store() failed.
+        adoptMetrics(results[i], r);
+        done[i] = 1;
+    };
+
+    // Pass 1: claim-and-compute. Participants start at different
+    // offsets so they mostly claim disjoint cells and contention
+    // stays on the claim files, not on the simulations.
+    for (std::size_t k = 0; k < n; k++) {
+        const std::size_t i = (start_offset + k) % n;
+        RunResult cached;
+        if (store.lookup(hashes[i], cached)) {
+            adoptMetrics(results[i], cached);
+            done[i] = 1;
+            continue;
+        }
+        if (store.claim(hashes[i]))
+            compute(i);
+    }
+
+    // Pass 2: merge the cells other participants claimed, waiting on
+    // live claimants and recomputing after dead ones. Recomputing is
+    // always safe - cells are deterministic, so a duplicated compute
+    // publishes identical bytes - so the generous deadline only
+    // guards against a recycled pid keeping a dead claim "alive".
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::minutes(10);
+    for (std::size_t i = 0; i < n; i++) {
+        while (!done[i]) {
+            RunResult cached;
+            if (store.lookup(hashes[i], cached)) {
+                adoptMetrics(results[i], cached);
+                done[i] = 1;
+                break;
+            }
+            const long owner = store.claimOwner(hashes[i]);
+            if (owner == 0 || !processAlive(owner) ||
+                std::chrono::steady_clock::now() > deadline) {
+                compute(i);
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+        }
+    }
+
+    store.maybeAudit();
+    return results;
+}
+
+std::vector<std::pair<std::string, std::string>>
+workerEnvironment(const std::string &store_dir, unsigned index)
+{
+    std::vector<std::pair<std::string, std::string>> env;
+    env.emplace_back("LTC_SWEEP_WORKER", std::to_string(index));
+    env.emplace_back("LTC_CELL_CACHE", store_dir);
+    // setTraceDir() (a --trace-dir flag) is process-global state a
+    // re-executed worker would lose; hand the effective directory
+    // down explicitly so trace:<stem> cells resolve identically.
+    const std::string traces = traceDir();
+    if (!traces.empty())
+        env.emplace_back("LTC_TRACE_DIR", traces);
+    return env;
+}
+
+std::vector<RunResult>
+runCellsMultiProcess(CellStore &store, const SweepSpec &spec,
+                     const std::vector<RunCell> &cells,
+                     const CellFn &fn, unsigned workers,
+                     char *const *argv)
+{
+    LTC_CHECK(argv && argv[0], "worker spawn needs the bench argv");
+    store.clearStale();
+
+    // Re-execute this binary, not argv[0]: the bench may have been
+    // found via PATH or run from another directory.
+    char exe[4096];
+    const ssize_t len =
+        ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    const std::string self =
+        len > 0 ? std::string(exe, static_cast<std::size_t>(len))
+                : std::string(argv[0]);
+
+    std::vector<pid_t> kids;
+    for (unsigned k = 1; k <= workers; k++) {
+        const auto overrides =
+            workerEnvironment(store.dir(), k);
+        // Build the worker environment before fork: inherited
+        // variables minus the overridden names, plus the overrides.
+        std::vector<std::string> env_strings;
+        for (char **e = environ; *e; e++) {
+            const std::string entry = *e;
+            const std::size_t eq = entry.find('=');
+            const std::string name = entry.substr(0, eq);
+            bool overridden = false;
+            for (const auto &[k2, v2] : overrides)
+                overridden = overridden || k2 == name;
+            if (!overridden)
+                env_strings.push_back(entry);
+        }
+        for (const auto &[k2, v2] : overrides)
+            env_strings.push_back(k2 + "=" + v2);
+        std::vector<char *> envp;
+        envp.reserve(env_strings.size() + 1);
+        for (auto &s : env_strings)
+            envp.push_back(s.data());
+        envp.push_back(nullptr);
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ltc_warn("cell store: fork failed: ",
+                     std::strerror(errno), "; running with ", k - 1,
+                     " workers");
+            break;
+        }
+        if (pid == 0) {
+            ::execve(self.c_str(),
+                     const_cast<char *const *>(argv), envp.data());
+            // Only reached on failure; stdio state is shared with
+            // the parent, so leave via _exit.
+            ::_exit(127);
+        }
+        kids.push_back(pid);
+    }
+
+    std::vector<RunResult> results =
+        runCellsClaiming(store, spec, cells, fn, 0);
+
+    for (const pid_t pid : kids) {
+        int status = 0;
+        if (::waitpid(pid, &status, 0) < 0) {
+            ltc_warn("cell store: waitpid(", pid,
+                     ") failed: ", std::strerror(errno));
+        } else if (!WIFEXITED(status) ||
+                   WEXITSTATUS(status) != 0) {
+            // The claim loop already recomputed whatever the worker
+            // left unfinished, so a dead worker costs time, not
+            // correctness.
+            ltc_warn("cell store: worker ", pid,
+                     " exited abnormally (status ", status, ")");
+        }
+    }
+    return results;
+}
+
+} // namespace ltc

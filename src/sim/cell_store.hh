@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Content-addressed, resumable experiment fabric.
+ *
+ * Production-scale parameter studies re-run thousands of
+ * (figure x geometry x predictor x trace) cells after every change;
+ * recomputing a whole sweep because one predictor changed, or losing
+ * a killed run entirely, does not scale. This layer models a sweep
+ * the way an incremental build system models commands (the riker
+ * BuildGraph idea: commands as cached nodes, prune and reload on
+ * change):
+ *
+ *  - every cell gets a stable 64-bit **content hash** over its
+ *    canonicalized identity: bench, sweep segment, config label,
+ *    workload identity (for file-backed workloads the digest of the
+ *    .ltct container, which covers every chunk checksum), per-cell
+ *    seed, the LTC_REFS budget, and a code-epoch token
+ *    (sim/experiment.hh) that is bumped whenever simulation
+ *    semantics change;
+ *
+ *  - a **CellStore** keeps one integrity-checksummed JSON record per
+ *    hash in an on-disk directory (the LTC_CELL_CACHE knob). Hits
+ *    skip simulation entirely; truncated, bit-flipped, mislabelled
+ *    or stale-epoch records are treated as misses and recomputed,
+ *    never served and never fatal;
+ *
+ *  - a **multi-process backend**: LTC_SWEEP_PROCS=N re-executes the
+ *    bench binary N times in worker mode; workers claim cells
+ *    through atomically linked claim files in the store and publish
+ *    results via atomic rename, and the parent merges the records
+ *    through the existing JSON round-trip, so any process count is
+ *    byte-identical - exactly the guarantee LTC_JOBS already gives
+ *    for threads.
+ *
+ * A killed sweep resumes where it stopped: records are published
+ * atomically, so on re-run every completed cell is a cache hit and
+ * only the remainder simulates. tools/ltc_sweep.cc is the companion
+ * CLI for inspecting, verifying and garbage-collecting a store.
+ */
+
+#ifndef LTC_SIM_CELL_STORE_HH
+#define LTC_SIM_CELL_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace ltc
+{
+
+/**
+ * Canonicalized key material for one experiment cell.
+ *
+ * Fields are (name, value) pairs; canonical() sorts them by name so
+ * the resulting hash is independent of the order in which callers
+ * add them. Hashes must be stable across processes, platforms and
+ * field orderings - they name on-disk records that outlive the run.
+ */
+class CellKey
+{
+  public:
+    /** Add a string-valued field. */
+    void add(const std::string &field, const std::string &value);
+
+    /** Add an unsigned-integer field (decimal canonical form). */
+    void add(const std::string &field, std::uint64_t value);
+
+    /**
+     * The canonical serialization: "field=value\n" lines sorted
+     * bytewise by field (ties broken by value), so any insertion
+     * order canonicalizes identically.
+     */
+    std::string canonical() const;
+
+    /** fnv1a64 of canonical(): the cell's content hash. */
+    std::uint64_t hash() const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/** @p hash as the fabric's canonical 16-digit lower-case hex form. */
+std::string cellHashHex(std::uint64_t hash);
+
+/** Validation outcome of one on-disk cell record. */
+enum class CellRecordStatus
+{
+    Ok = 0,     //!< checksum, epoch and hash all verified
+    Corrupt,    //!< unreadable, truncated, checksum or hash mismatch
+    StaleEpoch, //!< valid record written under a different code epoch
+};
+
+/**
+ * Parse and validate the cell record at @p path.
+ *
+ * Validation order: the trailing integrity checksum first (so a
+ * truncated or bit-flipped file can never reach the JSON parser),
+ * then the embedded content hash against @p expected_hash (a record
+ * renamed to the wrong name is corrupt, not a hit), then the code
+ * epoch against @p expected_epoch. Never fatal on bad input.
+ *
+ * @param expected_hash Hash the record must be for (its filename).
+ * @param out           Optional: the cached RunResult on Ok.
+ * @param out_epoch     Optional: the record's stored epoch token,
+ *                      filled whenever the checksum verifies (so a
+ *                      stale record still reports which epoch wrote
+ *                      it).
+ */
+CellRecordStatus probeCellRecord(const std::string &path,
+                                 const std::string &expected_epoch,
+                                 std::uint64_t expected_hash,
+                                 RunResult *out = nullptr,
+                                 std::string *out_epoch = nullptr);
+
+/** In-memory counters of one CellStore (monotonic over its life). */
+struct CellStoreStats
+{
+    std::uint64_t lookups = 0; //!< lookup() calls
+    std::uint64_t hits = 0;    //!< records served from disk
+    std::uint64_t misses = 0;  //!< lookups that found no usable record
+    std::uint64_t corrupt = 0; //!< misses caused by corrupt records
+    std::uint64_t stale = 0;   //!< misses caused by stale-epoch records
+    std::uint64_t sims = 0;    //!< cells actually simulated
+    std::uint64_t stores = 0;  //!< records published via store()
+    std::uint64_t claims = 0;  //!< claim files acquired
+};
+
+/**
+ * On-disk cache of experiment-cell results, one JSON record per
+ * content hash.
+ *
+ * Record layout (a superset of the ResultSink document so the
+ * existing resultsFromJson() round-trip parses it):
+ *
+ *     {"schema": 1, "epoch": "<token>", "hash": "<16 hex>",
+ *      "records": [<one RunResult record>], "checksum": <fnv1a64>}
+ *
+ * The checksum covers every byte before its own field; records are
+ * written to a temporary file and published with an atomic rename,
+ * so readers never observe a partial record. lookup() and store()
+ * are safe to call concurrently from the runner's worker threads and
+ * from cooperating processes sharing the directory.
+ */
+class CellStore
+{
+  public:
+    /**
+     * Open (creating if needed) the store at @p dir.
+     * @param epoch Code-epoch token records are keyed under; empty
+     *        selects cellCodeEpoch() (sim/experiment.hh).
+     */
+    explicit CellStore(std::string dir, std::string epoch = "");
+
+    CellStore(const CellStore &) = delete;
+    CellStore &operator=(const CellStore &) = delete;
+
+    /** Store directory. */
+    const std::string &dir() const { return dir_; }
+
+    /** Code-epoch token this store reads and writes under. */
+    const std::string &epoch() const { return epoch_; }
+
+    /**
+     * Fetch the record for @p hash into @p out (cell identity
+     * included, metrics in stored insertion order). Corrupt or
+     * stale records count as misses; they are left on disk for
+     * `ltc-sweep gc` rather than deleted under a concurrent reader.
+     * @return true on a verified hit.
+     */
+    bool lookup(std::uint64_t hash, RunResult &out);
+
+    /** Publish @p r as the record for @p hash (atomic rename). */
+    void store(std::uint64_t hash, const RunResult &r);
+
+    /**
+     * Try to acquire the claim file for @p hash: the multi-process
+     * backend's mutual exclusion. The claim is taken by atomically
+     * link(2)ing a per-process temporary into the claim name, which
+     * fails if any other process holds it. Claims record the owning
+     * pid and persist until clearStale().
+     * @return true if this process now owns the claim.
+     */
+    bool claim(std::uint64_t hash);
+
+    /** Pid recorded in @p hash's claim file; 0 if unclaimed. */
+    long claimOwner(std::uint64_t hash) const;
+
+    /**
+     * Remove leftover claim and temporary files (from this or any
+     * previous - possibly killed - sweep). The coordinating process
+     * calls this once at sweep start, before spawning workers;
+     * result records are never touched.
+     */
+    void clearStale();
+
+    /** On-disk path of @p hash's result record. */
+    std::string recordPath(std::uint64_t hash) const;
+
+    /** On-disk path of @p hash's claim file. */
+    std::string claimPath(std::uint64_t hash) const;
+
+    /** Count the cell simulated: bookkeeping for the audit algebra. */
+    void noteSim();
+
+    /** Snapshot of the counters. */
+    CellStoreStats stats() const;
+
+    /**
+     * Structural audit of the in-memory counters (util/check.hh):
+     * hits + misses == lookups, corrupt + stale <= misses, and every
+     * simulation must have been preceded by a miss. Panics on
+     * violation.
+     */
+    void auditInvariants() const;
+
+    /** auditInvariants() when ltcAuditEnabled() (LTC_AUDIT hook). */
+    void maybeAudit() const;
+
+  private:
+    friend struct CellStoreTestPeer;
+
+    std::string dir_;
+    std::string epoch_;
+    mutable std::mutex lock_; //!< guards stats_
+    CellStoreStats stats_;
+};
+
+/**
+ * Identity of one sweep within a bench: the key material shared by
+ * all its cells. A bench that runs several sweeps distinguishes them
+ * by segment ordinal (ResultSink::run() assigns these in call
+ * order), because the same (workload, config) pair may mean a
+ * different computation in each segment.
+ */
+struct SweepSpec
+{
+    std::string bench;        //!< bench name (part of every hash)
+    std::uint64_t segment = 0; //!< ordinal of this sweep in the bench
+};
+
+/**
+ * Identity digest of workload @p name: 0 for synthetic generators
+ * (their identity is the name plus the code epoch), and the fnv1a64
+ * digest of the backing .ltct container - covering header, every
+ * chunk checksum and every payload byte - for "trace:" workloads,
+ * so editing a trace file invalidates its cached cells. Digests are
+ * memoized per path; fatal if the file cannot be read (a registered
+ * trace workload must be usable).
+ */
+std::uint64_t workloadDigest(const std::string &name);
+
+/**
+ * Content hash of @p cell within @p spec under @p epoch: the
+ * CellKey over (epoch, bench, segment, workload, workload digest,
+ * config, seed, LTC_REFS). Stable across processes and platforms.
+ */
+std::uint64_t cellHash(const SweepSpec &spec, const RunCell &cell,
+                       const std::string &epoch);
+
+/** Cell evaluation function, as taken by ExperimentRunner::run(). */
+using CellFn = std::function<void(const RunCell &, RunResult &)>;
+
+/**
+ * Thread-pooled cached sweep (the single-process fast path): every
+ * cell is looked up in @p store first; hits skip simulation, misses
+ * run @p fn on the runner's pool and publish their records. Output
+ * is byte-identical to ExperimentRunner::run() for any mix of hits
+ * and misses because the record round-trip is exact.
+ */
+std::vector<RunResult>
+runCellsCached(const ExperimentRunner &runner, CellStore &store,
+               const SweepSpec &spec,
+               const std::vector<RunCell> &cells, const CellFn &fn);
+
+/**
+ * Claim-loop participant of a multi-process sweep: first pass claims
+ * and computes every cell not yet stored, starting at
+ * @p start_offset to spread contention; second pass merges all
+ * records in index order, waiting on cells whose claim is held by a
+ * live process and recomputing cells whose claimant died (results
+ * are deterministic, so duplicated computation publishes identical
+ * bytes). Runs cells serially - process-level parallelism comes from
+ * running several participants.
+ */
+std::vector<RunResult>
+runCellsClaiming(CellStore &store, const SweepSpec &spec,
+                 const std::vector<RunCell> &cells, const CellFn &fn,
+                 std::size_t start_offset);
+
+/**
+ * Environment overrides a spawned worker needs on top of the
+ * inherited environment: its worker index, the store directory, and
+ * - because setTraceDir() is process-global state that re-execution
+ * would otherwise lose - the effective trace-discovery directory as
+ * LTC_TRACE_DIR whenever one is active.
+ */
+std::vector<std::pair<std::string, std::string>>
+workerEnvironment(const std::string &store_dir, unsigned index);
+
+/**
+ * Coordinating side of the multi-process backend: clear stale
+ * claims, re-execute this binary (@p argv, which the C runtime
+ * null-terminates) @p workers times in worker mode via
+ * workerEnvironment(), participate in the claim loop, then reap the
+ * workers and return the merged, index-ordered results. A worker
+ * that dies is only a warning: the claim loop recomputes whatever
+ * it left unfinished.
+ */
+std::vector<RunResult>
+runCellsMultiProcess(CellStore &store, const SweepSpec &spec,
+                     const std::vector<RunCell> &cells,
+                     const CellFn &fn, unsigned workers,
+                     char *const *argv);
+
+} // namespace ltc
+
+#endif // LTC_SIM_CELL_STORE_HH

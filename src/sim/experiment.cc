@@ -107,4 +107,14 @@ makePredictor(const std::string &name, const HierarchyConfig &hier,
     ltc_fatal("unknown predictor '", name, "'");
 }
 
+const std::string &
+cellCodeEpoch()
+{
+    // History: ltc-fabric-1 = first fabric release (this PR's cell
+    // semantics). Must stay free of quotes, backslashes and control
+    // characters: cell records embed it verbatim (CellStore checks).
+    static const std::string epoch = "ltc-fabric-1";
+    return epoch;
+}
+
 } // namespace ltc

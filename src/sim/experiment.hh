@@ -60,6 +60,18 @@ std::unique_ptr<Prefetcher>
 makePredictor(const std::string &name, const HierarchyConfig &hier,
               bool model_stream_latency = false);
 
+/**
+ * Code-epoch token for the experiment fabric (sim/cell_store.hh):
+ * part of every cell's content hash, so cached results from an
+ * older epoch read as stale misses and are recomputed. Bump the
+ * token whenever a change alters what any cell computes - new
+ * predictor semantics, changed workload generators, different
+ * metric definitions - and leave it alone for pure refactors; the
+ * per-trace digest and the canonicalized config already cover
+ * workload-file and parameter changes.
+ */
+const std::string &cellCodeEpoch();
+
 } // namespace ltc
 
 #endif // LTC_SIM_EXPERIMENT_HH

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <thread>
 
+#include "sim/cell_store.hh"
 #include "trace/workloads.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
@@ -661,14 +662,39 @@ resultsFromCsv(const std::string &text)
 
 // --------------------------------------------------------- ResultSink
 
+namespace
+{
+
+/** Parse a positive integer environment/flag value or die. */
+unsigned
+parsePositive(const char *text, const char *what)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (text[0] < '0' || text[0] > '9' || end == text ||
+        *end != '\0' || v == 0 ||
+        v > std::numeric_limits<unsigned>::max())
+        ltc_fatal(what, " must be a positive integer, got '", text,
+                  "'");
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
 ResultSink::ResultSink(std::string bench, int argc,
                        char *const *argv)
-    : bench_(std::move(bench))
+    : bench_(std::move(bench)), argv_(argv)
 {
     if (const char *env = std::getenv("LTC_JSON"))
         jsonPath_ = env;
     if (const char *env = std::getenv("LTC_CSV"))
         csvPath_ = env;
+    if (const char *env = std::getenv("LTC_CELL_CACHE"))
+        cacheDir_ = env;
+    if (const char *env = std::getenv("LTC_SWEEP_PROCS"))
+        procs_ = parsePositive(env, "LTC_SWEEP_PROCS");
+    if (const char *env = std::getenv("LTC_SWEEP_WORKER"))
+        workerIndex_ = parsePositive(env, "LTC_SWEEP_WORKER");
 
     auto takeValue = [&](int &i, const std::string &arg,
                          const char *flag) -> const char * {
@@ -700,13 +726,84 @@ ResultSink::ResultSink(std::string bench, int argc,
             // (trace/workloads.hh) discovers *.ltct containers there
             // and benches sweep them like built-ins.
             setTraceDir(v);
+        } else if (const char *v = takeValue(i, arg, "--cell-cache")) {
+            if (*v == '\0')
+                ltc_fatal("--cell-cache requires a non-empty path");
+            cacheDir_ = v;
+        } else if (const char *v = takeValue(i, arg, "--procs")) {
+            procs_ = parsePositive(v, "--procs");
         } else {
             ltc_fatal("unknown argument '", arg, "'; usage: ", bench_,
                       " [--json <path>] [--csv <path>]",
-                      " [--trace-dir <dir>] (or LTC_JSON/LTC_CSV/",
-                      "LTC_TRACE_DIR env vars; \"-\" = stdout)");
+                      " [--trace-dir <dir>] [--cell-cache <dir>]",
+                      " [--procs <n>] (or LTC_JSON/LTC_CSV/",
+                      "LTC_TRACE_DIR/LTC_CELL_CACHE/LTC_SWEEP_PROCS",
+                      " env vars; \"-\" = stdout)");
         }
     }
+
+    if (procs_ > 1 && cacheDir_.empty())
+        ltc_fatal("--procs/LTC_SWEEP_PROCS needs a cell cache ",
+                  "(--cell-cache/LTC_CELL_CACHE): workers exchange ",
+                  "results through the store");
+
+    if (workerIndex_ > 0) {
+        // A sweep worker replays the bench's main() for its side
+        // effects on the shared store only: silence the tables and
+        // notes and drop the exports so workers never race the
+        // coordinator's output files.
+        if (cacheDir_.empty())
+            ltc_fatal("LTC_SWEEP_WORKER=", workerIndex_,
+                      " without LTC_CELL_CACHE");
+        if (!std::freopen("/dev/null", "w", stdout))
+            ltc_fatal("sweep worker: cannot silence stdout");
+        jsonPath_.clear();
+        csvPath_.clear();
+    }
+}
+
+ResultSink::~ResultSink() = default;
+
+std::vector<RunResult>
+ResultSink::run(
+    const ExperimentRunner &runner, const std::vector<RunCell> &cells,
+    const std::function<void(const RunCell &, RunResult &)> &fn,
+    bool cacheable)
+{
+    // Segment ordinal: part of every cell hash, so two sweeps of one
+    // bench with identical (workload, config) labels cannot collide.
+    // Workers replay the same main(), so their ordinals line up.
+    const std::uint64_t segment = sweepCalls_++;
+    if (!cacheable || cacheDir_.empty())
+        return runner.run(cells, fn);
+
+    if (!store_)
+        store_ = std::make_unique<CellStore>(cacheDir_);
+    SweepSpec spec;
+    spec.bench = bench_;
+    spec.segment = segment;
+
+    if (workerIndex_ > 0) {
+        // Decorrelate worker starting points (Fibonacci hashing);
+        // runCellsClaiming reduces the offset modulo the cell count.
+        const std::size_t offset =
+            static_cast<std::size_t>(workerIndex_) * 2654435761ULL;
+        return runCellsClaiming(*store_, spec, cells, fn, offset);
+    }
+    if (procs_ > 1) {
+        if (!argv_)
+            ltc_fatal("--procs needs ResultSink(bench, argc, argv): ",
+                      "workers re-execute the bench's command line");
+        return runCellsMultiProcess(*store_, spec, cells, fn,
+                                    procs_ - 1, argv_);
+    }
+    return runCellsCached(runner, *store_, spec, cells, fn);
+}
+
+CellStoreStats
+ResultSink::cellStats() const
+{
+    return store_ ? store_->stats() : CellStoreStats{};
 }
 
 void
@@ -807,6 +904,26 @@ ResultSink::finish()
     };
     write(jsonPath_, json(), "JSON");
     write(csvPath_, resultsToCsv(records_), "CSV");
+
+    // LTC_CELL_STATS=1: one machine-greppable stderr line with the
+    // fabric counters (stderr so it never lands in "-" exports).
+    // CI's warm-cache gate asserts `sims=0` from it.
+    if (store_ && std::getenv("LTC_CELL_STATS")) {
+        const CellStoreStats s = store_->stats();
+        std::fprintf(stderr,
+                     "[cell-cache] %s lookups=%llu hits=%llu "
+                     "misses=%llu corrupt=%llu stale=%llu "
+                     "sims=%llu stores=%llu claims=%llu\n",
+                     bench_.c_str(),
+                     static_cast<unsigned long long>(s.lookups),
+                     static_cast<unsigned long long>(s.hits),
+                     static_cast<unsigned long long>(s.misses),
+                     static_cast<unsigned long long>(s.corrupt),
+                     static_cast<unsigned long long>(s.stale),
+                     static_cast<unsigned long long>(s.sims),
+                     static_cast<unsigned long long>(s.stores),
+                     static_cast<unsigned long long>(s.claims));
+    }
     return 0;
 }
 

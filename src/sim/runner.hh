@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +34,9 @@
 
 namespace ltc
 {
+
+class CellStore;
+struct CellStoreStats;
 
 /**
  * Worker-thread count for experiment sweeps: the LTC_JOBS
@@ -252,6 +256,15 @@ std::vector<RunResult> resultsFromCsv(const std::string &text);
  * and deliberately contains no timestamps, durations, or thread
  * counts: two runs of one bench differing only in LTC_JOBS produce
  * byte-identical files.
+ *
+ * The sink is also the bench-side entry to the experiment fabric
+ * (sim/cell_store.hh): run() executes a sweep through the
+ * content-addressed cell cache when one is configured (`--cell-cache
+ * <dir>` / LTC_CELL_CACHE) and through the multi-process backend
+ * when requested (`--procs <n>` / LTC_SWEEP_PROCS), falling back to
+ * the plain ExperimentRunner otherwise. Any cache/process
+ * configuration keeps the exports byte-identical to an uncached
+ * single-process run.
  */
 class ResultSink
 {
@@ -264,10 +277,41 @@ class ResultSink
      *        trace-discovery directory (setTraceDir() in
      *        trace/workloads.hh, the flag equivalent of
      *        LTC_TRACE_DIR) so benches sweep file-backed .ltct
-     *        workloads. Unknown arguments are a fatal usage error.
+     *        workloads, `--cell-cache <dir>` (LTC_CELL_CACHE) which
+     *        enables the cell cache, and `--procs <n>`
+     *        (LTC_SWEEP_PROCS) which runs cached sweeps with n
+     *        cooperating processes. Unknown arguments are a fatal
+     *        usage error. When LTC_SWEEP_WORKER marks this process
+     *        as a spawned sweep worker, stdout and the exports are
+     *        suppressed: the worker's only output is the records it
+     *        publishes into the shared cell cache.
      */
     ResultSink(std::string bench, int argc = 0,
                char *const *argv = nullptr);
+
+    ~ResultSink();
+
+    /**
+     * Execute a sweep through the experiment fabric: equivalent to
+     * `runner.run(cells, fn)` but consulting the cell cache first
+     * when one is configured, so cache hits skip simulation, killed
+     * sweeps resume, and `--procs` distributes cells over worker
+     * processes. Pass @p cacheable = false for sweeps whose results
+     * are not a pure function of the cell identity (self-timing
+     * benches); those always run uncached.
+     */
+    std::vector<RunResult>
+    run(const ExperimentRunner &runner,
+        const std::vector<RunCell> &cells,
+        const std::function<void(const RunCell &, RunResult &)> &fn,
+        bool cacheable = true);
+
+    /**
+     * Counters of the cell store behind run(), all zero when no
+     * cache is configured. `sims` is the number of cells actually
+     * simulated - the warm-cache acceptance criterion asserts it.
+     */
+    CellStoreStats cellStats() const;
 
     /** Print @p t (text + [csv] block) and retain it for export. */
     void table(const Table &t);
@@ -294,6 +338,12 @@ class ResultSink
     std::string bench_;
     std::string jsonPath_;
     std::string csvPath_;
+    std::string cacheDir_;    //!< cell-cache directory ("" = off)
+    unsigned procs_ = 1;      //!< cooperating processes for run()
+    unsigned workerIndex_ = 0; //!< >0 when this is a sweep worker
+    std::uint64_t sweepCalls_ = 0; //!< run() ordinal = sweep segment
+    char *const *argv_ = nullptr; //!< retained for worker re-exec
+    std::unique_ptr<CellStore> store_;
     std::vector<RunResult> records_;
     std::vector<Table> tables_;
     std::vector<std::string> notes_;

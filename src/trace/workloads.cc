@@ -824,21 +824,25 @@ setTraceDir(const std::string &dir)
     traceDirOverride() = dir;
 }
 
+std::string
+traceDir()
+{
+    {
+        std::lock_guard<std::mutex> lock(traceDirMutex());
+        if (!traceDirOverride().empty())
+            return traceDirOverride();
+    }
+    const char *env = std::getenv("LTC_TRACE_DIR");
+    return (env && *env) ? env : "";
+}
+
 const std::vector<TraceWorkload> &
 fileWorkloads()
 {
-    std::string dir;
-    {
-        std::lock_guard<std::mutex> lock(traceDirMutex());
-        dir = traceDirOverride();
-    }
+    const std::string dir = traceDir();
     if (dir.empty()) {
-        const char *env = std::getenv("LTC_TRACE_DIR");
-        if (!env || !*env) {
-            static const std::vector<TraceWorkload> empty;
-            return empty;
-        }
-        dir = env;
+        static const std::vector<TraceWorkload> empty;
+        return empty;
     }
     return scanTraceDir(dir);
 }

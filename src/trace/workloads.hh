@@ -82,6 +82,15 @@ struct TraceWorkload
 void setTraceDir(const std::string &dir);
 
 /**
+ * The effective trace-discovery directory: the setTraceDir()
+ * override if set, else LTC_TRACE_DIR, else "". The experiment
+ * fabric forwards this to worker processes (sim/cell_store.hh),
+ * which would otherwise lose a --trace-dir registration across
+ * re-execution - setTraceDir() is process-global state.
+ */
+std::string traceDir();
+
+/**
  * File-backed workloads: every *.ltct file in the trace-discovery
  * directory - setTraceDir() if set, else the LTC_TRACE_DIR
  * environment variable (sorted by name; empty when neither is set).

@@ -38,6 +38,25 @@ fnv1a32(const unsigned char *data, std::size_t len)
     return h;
 }
 
+/**
+ * FNV-1a 64-bit hash of a byte range, resumable: pass the previous
+ * return value as @p h to fold further blocks into a running digest
+ * (the experiment fabric hashes canonicalized cell keys and whole
+ * .ltct containers this way, sim/cell_store.hh). Like fnv1a32 it is
+ * chosen for portability and determinism, not cryptography: cache
+ * records it guards are integrity-checked, not authenticated.
+ */
+inline std::uint64_t
+fnv1a64(const unsigned char *data, std::size_t len,
+        std::uint64_t h = 14695981039346656037ULL)
+{
+    for (std::size_t i = 0; i < len; i++) {
+        h ^= data[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
 /** Finalizer from MurmurHash3; a cheap full-avalanche 64-bit mixer. */
 constexpr std::uint64_t
 mix64(std::uint64_t k)

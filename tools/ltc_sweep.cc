@@ -1,0 +1,246 @@
+/**
+ * @file
+ * ltc-sweep: command-line tool for cell-cache directories
+ * (LTC_CELL_CACHE; sim/cell_store.hh).
+ *
+ *   ltc-sweep info <dir>
+ *       Per-status record counts (ok / corrupt / stale-epoch),
+ *       plus leftover claim and temporary files.
+ *
+ *   ltc-sweep verify <dir>
+ *       Validate every record; exit status is the number of corrupt
+ *       records, so `ltc-sweep verify dir` doubles as a CI gate.
+ *
+ *   ltc-sweep gc <dir>
+ *       Remove corrupt and stale-epoch records plus leftover claim
+ *       and temporary files; valid current-epoch records survive.
+ *
+ *   ltc-sweep clear <dir>
+ *       Remove every record, claim and temporary file.
+ *
+ * Cache records name themselves by content hash
+ * (<16-hex-digits>.json); files that do not fit the naming scheme
+ * are reported but never deleted.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/cell_store.hh"
+#include "sim/experiment.hh"
+
+namespace
+{
+
+using namespace ltc;
+namespace fs = std::filesystem;
+
+[[noreturn]] void
+usage()
+{
+    std::fputs("usage: ltc-sweep <command> <cache-dir>\n"
+               "  info   <dir>   per-status record counts\n"
+               "  verify <dir>   exit status = corrupt records\n"
+               "  gc     <dir>   drop corrupt/stale records, claims,"
+               " tmps\n"
+               "  clear  <dir>   drop everything\n",
+               stderr);
+    std::exit(1);
+}
+
+/** One scanned cache entry. */
+struct Entry
+{
+    fs::path path;
+    enum Kind
+    {
+        Record,  //!< <hex>.json
+        Claim,   //!< <hex>.claim
+        Temp,    //!< *.tmp.<pid>
+        Foreign, //!< anything else
+    } kind = Foreign;
+    std::uint64_t hash = 0;            //!< for Record entries
+    CellRecordStatus status = CellRecordStatus::Corrupt;
+};
+
+/** Parse "<16 hex>" into a hash; false if it is not one. */
+bool
+parseHashStem(const std::string &stem, std::uint64_t &hash)
+{
+    if (stem.size() != 16)
+        return false;
+    hash = 0;
+    for (const char ch : stem) {
+        hash <<= 4;
+        if (ch >= '0' && ch <= '9')
+            hash |= static_cast<std::uint64_t>(ch - '0');
+        else if (ch >= 'a' && ch <= 'f')
+            hash |= static_cast<std::uint64_t>(ch - 'a' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+std::vector<Entry>
+scan(const std::string &dir)
+{
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "ltc-sweep: cannot open '%s': %s\n",
+                     dir.c_str(), ec.message().c_str());
+        std::exit(1);
+    }
+    std::vector<Entry> entries;
+    for (const auto &de : it) {
+        Entry e;
+        e.path = de.path();
+        const std::string name = e.path.filename().string();
+        std::uint64_t hash = 0;
+        if (name.find(".tmp.") != std::string::npos) {
+            e.kind = Entry::Temp;
+        } else if (e.path.extension() == ".claim" &&
+                   parseHashStem(e.path.stem().string(), hash)) {
+            e.kind = Entry::Claim;
+        } else if (e.path.extension() == ".json" &&
+                   parseHashStem(e.path.stem().string(), hash)) {
+            e.kind = Entry::Record;
+            e.hash = hash;
+            e.status = probeCellRecord(e.path.string(),
+                                       cellCodeEpoch(), hash);
+        }
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+/** Counts of a scan, shared by info and verify. */
+struct Totals
+{
+    std::size_t ok = 0;
+    std::size_t corrupt = 0;
+    std::size_t stale = 0;
+    std::size_t claims = 0;
+    std::size_t temps = 0;
+    std::size_t foreign = 0;
+};
+
+Totals
+tally(const std::vector<Entry> &entries)
+{
+    Totals t;
+    for (const auto &e : entries) {
+        switch (e.kind) {
+          case Entry::Record:
+            if (e.status == CellRecordStatus::Ok)
+                t.ok++;
+            else if (e.status == CellRecordStatus::StaleEpoch)
+                t.stale++;
+            else
+                t.corrupt++;
+            break;
+          case Entry::Claim:
+            t.claims++;
+            break;
+          case Entry::Temp:
+            t.temps++;
+            break;
+          case Entry::Foreign:
+            t.foreign++;
+            break;
+        }
+    }
+    return t;
+}
+
+int
+cmdInfo(const std::string &dir)
+{
+    const Totals t = tally(scan(dir));
+    std::printf("cache dir       : %s\n", dir.c_str());
+    std::printf("code epoch      : %s\n", cellCodeEpoch().c_str());
+    std::printf("records ok      : %zu\n", t.ok);
+    std::printf("records corrupt : %zu\n", t.corrupt);
+    std::printf("records stale   : %zu\n", t.stale);
+    std::printf("claim files     : %zu\n", t.claims);
+    std::printf("temp files      : %zu\n", t.temps);
+    if (t.foreign)
+        std::printf("foreign files   : %zu (ignored)\n", t.foreign);
+    return 0;
+}
+
+int
+cmdVerify(const std::string &dir)
+{
+    const auto entries = scan(dir);
+    for (const auto &e : entries) {
+        if (e.kind != Entry::Record)
+            continue;
+        if (e.status == CellRecordStatus::Corrupt)
+            std::printf("corrupt: %s\n", e.path.string().c_str());
+        else if (e.status == CellRecordStatus::StaleEpoch)
+            std::printf("stale:   %s\n", e.path.string().c_str());
+    }
+    const Totals t = tally(entries);
+    std::printf("%zu ok, %zu corrupt, %zu stale\n", t.ok, t.corrupt,
+                t.stale);
+    return t.corrupt > 255 ? 255 : static_cast<int>(t.corrupt);
+}
+
+int
+cmdGc(const std::string &dir, bool everything)
+{
+    std::size_t removed = 0;
+    for (const auto &e : scan(dir)) {
+        bool drop = false;
+        switch (e.kind) {
+          case Entry::Record:
+            drop = everything || e.status != CellRecordStatus::Ok;
+            break;
+          case Entry::Claim:
+          case Entry::Temp:
+            drop = true;
+            break;
+          case Entry::Foreign:
+            std::printf("keeping foreign file %s\n",
+                        e.path.string().c_str());
+            break;
+        }
+        if (!drop)
+            continue;
+        std::error_code ec;
+        if (fs::remove(e.path, ec))
+            removed++;
+        else
+            std::fprintf(stderr, "ltc-sweep: cannot remove %s: %s\n",
+                         e.path.string().c_str(),
+                         ec.message().c_str());
+    }
+    std::printf("removed %zu file(s)\n", removed);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3)
+        usage();
+    const std::string cmd = argv[1];
+    const std::string dir = argv[2];
+
+    if (cmd == "info")
+        return cmdInfo(dir);
+    if (cmd == "verify")
+        return cmdVerify(dir);
+    if (cmd == "gc")
+        return cmdGc(dir, false);
+    if (cmd == "clear")
+        return cmdGc(dir, true);
+    usage();
+}
