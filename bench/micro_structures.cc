@@ -18,6 +18,7 @@
 
 #include "bench_common.hh"
 #include "cache/cache.hh"
+#include "cache/set_scan.hh"
 #include "core/ltcords.hh"
 #include "core/signature_cache.hh"
 #include "pred/dbcp.hh"
@@ -84,6 +85,45 @@ cacheAccess()
                 cache.access(addr, MemOp::Load).hit));
         }
     });
+}
+
+/**
+ * One 8-way set of packed tag words, scanned with the dispatched
+ * kernel (AVX2/AVX-512 when compiled in) vs. the portable unrolled
+ * loop — the per-lookup work behind every cache access. With
+ * -DLTC_SIMD=OFF (or no AVX2) the two cells coincide.
+ */
+template <std::uint32_t (*Scan)(const std::uint64_t *, std::uint64_t,
+                                std::uint64_t)>
+double
+setScan8()
+{
+    alignas(64) std::uint64_t tags[8];
+    for (std::uint64_t w = 0; w < 8; w++)
+        tags[w] = (w << 6) | 0x01;
+    const std::uint64_t select = ~std::uint64_t{0x3e};
+    std::uint64_t state = 1;
+    return nsPerOp([&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; i++) {
+            state = mix64(state);
+            // Tags 0..7 are resident; want 0..15, so half the probes
+            // match (one bit) and half miss — the lookup mix.
+            const std::uint64_t want = ((state & 15) << 6) | 0x01;
+            consume(Scan(tags, select, want));
+        }
+    });
+}
+
+double
+setScanDispatched()
+{
+    return setScan8<&maskedEqBits<8>>();
+}
+
+double
+setScanPortable()
+{
+    return setScan8<&maskedEqBitsPortable<8>>();
 }
 
 double
@@ -233,6 +273,8 @@ struct Micro
 };
 
 const Micro kMicros[] = {
+    {"set_scan_8way", setScanDispatched},
+    {"set_scan_8way_portable", setScanPortable},
     {"cache_access", cacheAccess},
     {"sigcache_lookup", sigCacheLookup},
     {"sigcache_insert", sigCacheInsert},

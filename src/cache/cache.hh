@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cache/cache_config.hh"
+#include "cache/set_scan.hh"
 #include "util/random.hh"
 #include "util/types.hh"
 
@@ -92,8 +93,8 @@ struct CacheOutcome
  * word holding the block tag plus all status/metadata bits, one word
  * holding the replacement stamp — so a whole 8-way set spans two host
  * cache lines and the lookup/victim scans of the simulation hot path
- * stay memory-cheap (the tag word layout is also the natural starting
- * point for a SIMD set search, a ROADMAP follow-on).
+ * stay memory-cheap. The static-associativity instantiations route
+ * those scans through the SIMD kernels of cache/set_scan.hh.
  */
 class Cache
 {
@@ -310,6 +311,9 @@ class Cache
     static constexpr unsigned tagShift = 6;
     static constexpr std::uint64_t tagMask =
         (std::uint64_t{1} << (64 - tagShift)) - 1;
+    /** Bits compared by the lookup scans: tag + valid, status masked. */
+    static constexpr std::uint64_t tagSelect =
+        ~(lineDirty | linePrefetched | lineMetaMask);
 
     /** Block number of @p addr, masked to the packed tag width. */
     std::uint64_t
@@ -337,6 +341,15 @@ class Cache
 
     /** Index of @p addr's line in tagFlags_/stamps_; noWay if absent. */
     std::size_t findIndex(Addr addr) const;
+    /**
+     * Way in @p tags (one set's tag words) whose (word & tagSelect)
+     * equals @p want; noWay if absent. A non-zero StaticAssoc takes
+     * the set-scan kernel (SIMD when compiled in, cache/set_scan.hh);
+     * 0 reads the associativity from the configuration.
+     */
+    template <std::uint32_t StaticAssoc = 0>
+    std::size_t matchWay(const std::uint64_t *tags,
+                         std::uint64_t want) const;
     /** @tparam StaticAssoc 0 or exactly config().assoc (see access). */
     template <std::uint32_t StaticAssoc = 0>
     std::uint32_t victimWay(std::uint32_t set);
@@ -379,6 +392,26 @@ class Cache
 // LTC_HOT_BEGIN: tools/ltc_lint.py bans hash maps, the modulo
 // operator and virtual declarations between these markers.
 
+template <std::uint32_t StaticAssoc>
+inline std::size_t
+Cache::matchWay(const std::uint64_t *tags, std::uint64_t want) const
+{
+    if constexpr (StaticAssoc != 0) {
+        // A block is resident at most once per set, so the match mask
+        // holds at most one bit and firstWay() is exact, not a
+        // tie-break (pinned by auditInvariants / cache_test).
+        const std::uint32_t m =
+            maskedEqBits<StaticAssoc>(tags, tagSelect, want);
+        return m ? firstWay(m) : noWay;
+    } else {
+        for (std::uint32_t w = 0; w < config_.assoc; w++) {
+            if ((tags[w] & tagSelect) == want)
+                return w;
+        }
+        return noWay;
+    }
+}
+
 inline std::size_t
 Cache::findIndex(Addr addr) const
 {
@@ -388,12 +421,8 @@ Cache::findIndex(Addr addr) const
     const std::uint64_t want = (tag << tagShift) | lineValid;
     const std::size_t base =
         static_cast<std::size_t>(set) * config_.assoc;
-    for (std::uint32_t w = 0; w < config_.assoc; w++) {
-        const std::uint64_t tf = tagFlags_[base + w];
-        if ((tf & ~(lineDirty | linePrefetched | lineMetaMask)) == want)
-            return base + w;
-    }
-    return noWay;
+    const std::size_t way = matchWay<0>(tagFlags_.data() + base, want);
+    return way == noWay ? noWay : base + way;
 }
 
 template <std::uint32_t StaticAssoc>
@@ -403,15 +432,26 @@ Cache::victimWay(std::uint32_t set)
     const std::uint32_t assoc =
         StaticAssoc ? StaticAssoc : config_.assoc;
     const std::size_t base = static_cast<std::size_t>(set) * assoc;
-    // Prefer an invalid way.
-    for (std::uint32_t w = 0; w < assoc; w++) {
-        if (!(tagFlags_[base + w] & lineValid))
-            return w;
+    // Prefer an invalid way: the lowest one, matching the scalar
+    // first-invalid scan.
+    if constexpr (StaticAssoc != 0) {
+        const std::uint32_t inv = maskedEqBits<StaticAssoc>(
+            tagFlags_.data() + base, lineValid, 0);
+        if (inv)
+            return firstWay(inv);
+    } else {
+        for (std::uint32_t w = 0; w < assoc; w++) {
+            if (!(tagFlags_[base + w] & lineValid))
+                return w;
+        }
     }
     if (config_.policy == ReplPolicy::Random)
         return static_cast<std::uint32_t>(rng_.below(assoc));
     // LRU and FIFO both evict the minimum stamp; they differ only in
-    // when the stamp is written (every use vs fill only).
+    // when the stamp is written (every use vs fill only). The strict
+    // compare keeps the lowest way among stamp ties, and the fixed
+    // trip count lets the compiler unroll (the scan only runs on
+    // conflict misses, so it stays scalar rather than SIMD).
     std::uint32_t victim = 0;
     for (std::uint32_t w = 1; w < assoc; w++) {
         if (stamps_[base + w] < stamps_[base + victim])
@@ -460,10 +500,10 @@ Cache::access(Addr addr, MemOp op)
     const std::uint64_t want = (tag << tagShift) | lineValid;
     const std::size_t base = static_cast<std::size_t>(set) * assoc;
 
-    for (std::uint32_t w = 0; w < assoc; w++) {
+    const std::size_t w = matchWay<StaticAssoc>(tagFlags_.data() + base,
+                                                want);
+    if (w != noWay) {
         const std::uint64_t tf = tagFlags_[base + w];
-        if ((tf & ~(lineDirty | linePrefetched | lineMetaMask)) != want)
-            continue;
         CacheOutcome out;
         out.hit = true;
         out.hitUntouchedPrefetch = (tf & linePrefetched) != 0;
@@ -500,24 +540,29 @@ Cache::accessBaseline(Addr addr, MemOp op, BaselineCursor &cur)
     std::uint64_t *stamps =
         stamps_.data() + static_cast<std::size_t>(set) * assoc;
 
-    for (std::uint32_t w = 0; w < assoc; w++) {
-        const std::uint64_t tf = tags[w];
-        // One fused compare: tag + valid, ignoring the status bits.
-        if ((tf & ~(lineDirty | linePrefetched | lineMetaMask)) != want)
-            continue;
+    // One fused compare per way: tag + valid, status bits masked.
+    const std::size_t hit = matchWay<StaticAssoc>(tags, want);
+    if (hit != noWay) {
         if (op == MemOp::Store)
-            tags[w] = tf | lineDirty;
+            tags[hit] |= lineDirty;
         if (policy == ReplPolicy::LRU)
-            stamps[w] = ++cur.stamp;
+            stamps[hit] = ++cur.stamp;
         return true;
     }
 
     cur.misses++;
     std::uint32_t way = assoc;
-    for (std::uint32_t w = 0; w < assoc; w++) {
-        if (!(tags[w] & lineValid)) {
-            way = w;
-            break;
+    if constexpr (StaticAssoc != 0) {
+        const std::uint32_t inv =
+            maskedEqBits<StaticAssoc>(tags, lineValid, 0);
+        if (inv)
+            way = firstWay(inv);
+    } else {
+        for (std::uint32_t w = 0; w < assoc; w++) {
+            if (!(tags[w] & lineValid)) {
+                way = w;
+                break;
+            }
         }
     }
     if (way == assoc) {

@@ -165,7 +165,7 @@ LtCords::observe(const MemRef &ref, const HierOutcome &out)
         activateFrame(*frame);
 
     // Prediction: a signature-cache hit identifies a last touch.
-    if (SigCacheEntry *e = sigCache_.lookup(lookup_key)) {
+    if (const SigPayload *e = sigCache_.lookup(lookup_key)) {
         // Capture before advancing: streaming may overwrite *e.
         const Addr replacement = e->replacement;
         const Addr victim = e->victim;
@@ -182,9 +182,9 @@ LtCords::observe(const MemRef &ref, const HierOutcome &out)
             req.predictedVictim = victim;
             req.intoL1 = true;
             enqueue(req);
-            outstanding_[replacement &
-                         ~static_cast<Addr>(config_.lineBytes - 1)] = {
-                frame, offset};
+            outstanding_.insert(
+                replacement & ~static_cast<Addr>(config_.lineBytes - 1),
+                SigPtr{frame, offset});
         } else {
             lowConfidence_++;
         }
@@ -205,11 +205,11 @@ LtCords::feedback(const PrefetchFeedback &fb)
 {
     const Addr block =
         fb.target & ~static_cast<Addr>(config_.lineBytes - 1);
-    auto it = outstanding_.find(block);
-    if (it == outstanding_.end())
+    const SigPtr *found = outstanding_.find(block);
+    if (!found)
         return;
-    const SigPtr ptr = it->second;
-    outstanding_.erase(it);
+    const SigPtr ptr = *found;
+    outstanding_.erase(block);
 
     const StoredSignature *sig = storage_.at(ptr.frame, ptr.offset);
     if (!sig)
@@ -225,6 +225,15 @@ LtCords::feedback(const PrefetchFeedback &fb)
     // Exact off-chip update through the self-pointer (Section 4.4);
     // the on-chip copy refreshes the next time the window streams it.
     storage_.updateConfidence(ptr.frame, ptr.offset, conf);
+}
+
+void
+LtCords::feedbackBatch(const PrefetchFeedback *fbs, std::size_t n)
+{
+    // One virtual call per engine drain instead of one per outcome;
+    // the per-event work is identical to feedback() by construction.
+    for (std::size_t i = 0; i < n; i++)
+        feedback(fbs[i]);
 }
 
 std::pair<std::uint64_t, std::uint64_t>
@@ -277,12 +286,13 @@ LtCords::auditInvariants() const
         LTC_CHECK(b.from <= b.to, "pending batch range reversed: [",
                   b.from, ", ", b.to, ")");
     }
-    for (const auto &[target, ptr] : outstanding_) {
+    outstanding_.auditInvariants();
+    outstanding_.forEach([this](Addr target, const SigPtr &ptr) {
         LTC_CHECK(ptr.frame < config_.numFrames,
                   "outstanding prediction for block ", target,
                   " points at frame ", ptr.frame, " of ",
                   config_.numFrames);
-    }
+    });
 }
 
 void

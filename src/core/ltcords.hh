@@ -23,7 +23,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "core/ltcords_config.hh"
@@ -31,6 +30,7 @@
 #include "core/signature_cache.hh"
 #include "pred/history_table.hh"
 #include "pred/prefetcher.hh"
+#include "util/flat_map.hh"
 
 namespace ltc
 {
@@ -49,6 +49,13 @@ class LtCords : public Prefetcher
                             Addr incoming_addr) override;
     /** Prefetch outcome feedback: drives confidence updates. */
     void feedback(const PrefetchFeedback &fb) override;
+    /**
+     * Batched feedback: one virtual call for a whole engine drain
+     * (the engines buffer outcome events and flush them at the two
+     * ordering points of each reference; see Prefetcher).
+     */
+    void feedbackBatch(const PrefetchFeedback *fbs,
+                       std::size_t n) override;
     /** Advance the engine's notion of time (latency modelling). */
     void setNow(Cycle now) override;
     /** Drain (write, read) off-chip signature bytes since last call. */
@@ -125,13 +132,17 @@ class LtCords : public Prefetcher
     std::deque<PendingBatch> pending_;
     Cycle now_ = 0;
 
-    /** Outstanding predictions: target block -> signature pointer. */
+    /** Outstanding predictions: target block -> signature pointer.
+     *  Open-addressed (util/flat_map.hh): one insert per prediction
+     *  and one probe+erase per feedback sit on the hot path, and the
+     *  node churn of the hash map this replaces dominated the
+     *  lt-cords profile. */
     struct SigPtr
     {
-        std::uint32_t frame;
-        std::uint32_t offset;
+        std::uint32_t frame = 0;
+        std::uint32_t offset = 0;
     };
-    std::unordered_map<Addr, SigPtr> outstanding_;
+    AddrMap<SigPtr> outstanding_;
 
     // Statistics.
     std::uint64_t headActivations_ = 0;

@@ -29,7 +29,7 @@ SequenceStorage::beginFragment(std::uint64_t incoming_key)
     // fragment).
     std::uint64_t head = incoming_key;
     if (recordedTotal_ >= config_.headLookahead && config_.headLookahead)
-        head = recentKeys_[recentPos_ % recentKeys_.size()];
+        head = recentKeys_[recentPos_]; // oldest slot, see record()
 
     const auto frame =
         static_cast<std::uint32_t>(head & (config_.numFrames - 1));
@@ -45,53 +45,6 @@ SequenceStorage::beginFragment(std::uint64_t incoming_key)
     f.sigs.reserve(std::min<std::uint32_t>(config_.fragmentSignatures,
                                            4096));
     recordFrame_ = frame;
-}
-
-void
-SequenceStorage::record(std::uint64_t key, Addr replacement, Addr victim)
-{
-    if (!recordFrame_ ||
-        frames_[*recordFrame_].sigs.size() >= config_.fragmentSignatures)
-        beginFragment(key);
-
-    Frame &f = frames_[*recordFrame_];
-    StoredSignature sig;
-    sig.key = key;
-    sig.replacement = replacement;
-    sig.victim = victim;
-    sig.confidence = config_.confidenceInit;
-    f.sigs.push_back(sig);
-
-    // Head-history ring: the oldest slot (about to be overwritten) is
-    // the key recorded `headLookahead` positions ago.
-    if (!recentKeys_.empty()) {
-        recentKeys_[recentPos_ % recentKeys_.size()] = key;
-        recentPos_++;
-    }
-
-    recordedTotal_++;
-    pendingWriteBytes_ += config_.signatureBytes;
-}
-
-std::optional<std::uint32_t>
-SequenceStorage::frameForHead(std::uint64_t key) const
-{
-    const auto frame =
-        static_cast<std::uint32_t>(key & (config_.numFrames - 1));
-    const Frame &f = frames_[frame];
-    if (f.valid && f.headKey == key)
-        return frame;
-    return std::nullopt;
-}
-
-const StoredSignature *
-SequenceStorage::at(std::uint32_t frame, std::uint32_t offset) const
-{
-    ltc_assert(frame < frames_.size(), "frame out of range: ", frame);
-    const Frame &f = frames_[frame];
-    if (!f.valid || offset >= f.sigs.size())
-        return nullptr;
-    return &f.sigs[offset];
 }
 
 std::uint32_t
@@ -174,6 +127,9 @@ SequenceStorage::auditInvariants() const
                   std::max<std::uint32_t>(1, config_.headLookahead),
               "head-history ring holds ", recentKeys_.size(),
               " keys for lookahead ", config_.headLookahead);
+    LTC_CHECK(recentPos_ < recentKeys_.size(),
+              "head-history cursor ", recentPos_,
+              " outside the ring of ", recentKeys_.size());
 
     std::uint64_t resident = 0;
     for (std::size_t i = 0; i < frames_.size(); i++) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/ltcords_config.hh"
+#include "util/check.hh"
 #include "util/types.hh"
 
 namespace ltc
@@ -54,17 +55,19 @@ class SequenceStorage
 
     /**
      * Append one signature to the recorded sequence (confidence is
-     * set to the configured initial value).
+     * set to the configured initial value). Defined inline below: one
+     * call per L1 miss in the LT-cords observe path.
      */
     void record(std::uint64_t key, Addr replacement, Addr victim);
 
     /**
      * Sequence tag array lookup: the frame whose head hash matches
-     * @p key, if any.
+     * @p key, if any. Inline: probed once per L1 miss.
      */
     std::optional<std::uint32_t> frameForHead(std::uint64_t key) const;
 
-    /** Signature at (frame, offset); nullptr past the fragment fill. */
+    /** Signature at (frame, offset); nullptr past the fragment fill.
+     *  Inline: the streaming path reads a window per head match. */
     const StoredSignature *at(std::uint32_t frame,
                               std::uint32_t offset) const;
 
@@ -142,10 +145,15 @@ class SequenceStorage
 
     /**
      * Ring of the most recent `headLookahead` recorded keys, used to
-     * pick the head signature when a new fragment begins.
+     * pick the head signature when a new fragment begins. recentPos_
+     * always names the oldest slot (the next to be overwritten) and
+     * wraps explicitly on increment — indexing a monotonic counter
+     * with `% size` would skew head selection for non-power-of-two
+     * lookaheads once the counter wraps, and costs a division per
+     * record besides.
      */
     std::vector<std::uint64_t> recentKeys_;
-    std::uint64_t recentPos_ = 0;
+    std::size_t recentPos_ = 0;
 
     std::function<void(std::uint32_t)> reallocCallback_;
 
@@ -157,6 +165,69 @@ class SequenceStorage
     /** Death-test hook: lets the invariant suite corrupt state. */
     friend struct TestPeer;
 };
+
+// ------------------------------------------------------ hot path
+//
+// record() runs once per L1 miss and frameForHead()/at() once per
+// miss / streamed signature in the LT-cords observe path; defined
+// inline so the predictor's per-reference loop crosses no call
+// boundary for them (beginFragment stays out of line — it runs once
+// per fragment).
+//
+// LTC_HOT_BEGIN: tools/ltc_lint.py bans hash maps, the modulo
+// operator and virtual declarations between these markers.
+
+inline void
+SequenceStorage::record(std::uint64_t key, Addr replacement,
+                        Addr victim)
+{
+    if (!recordFrame_ ||
+        frames_[*recordFrame_].sigs.size() >= config_.fragmentSignatures)
+        beginFragment(key);
+
+    Frame &f = frames_[*recordFrame_];
+    StoredSignature sig;
+    sig.key = key;
+    sig.replacement = replacement;
+    sig.victim = victim;
+    sig.confidence = config_.confidenceInit;
+    f.sigs.push_back(sig);
+
+    // Head-history ring: recentPos_ is the oldest slot (the key
+    // recorded `headLookahead` positions ago, which beginFragment
+    // reads as the head); overwrite it and advance with an explicit
+    // wrap.
+    recentKeys_[recentPos_] = key;
+    recentPos_++;
+    if (recentPos_ == recentKeys_.size())
+        recentPos_ = 0;
+
+    recordedTotal_++;
+    pendingWriteBytes_ += config_.signatureBytes;
+}
+
+inline std::optional<std::uint32_t>
+SequenceStorage::frameForHead(std::uint64_t key) const
+{
+    const auto frame =
+        static_cast<std::uint32_t>(key & (config_.numFrames - 1));
+    const Frame &f = frames_[frame];
+    if (f.valid && f.headKey == key)
+        return frame;
+    return std::nullopt;
+}
+
+inline const StoredSignature *
+SequenceStorage::at(std::uint32_t frame, std::uint32_t offset) const
+{
+    LTC_DCHECK(frame < frames_.size(), "frame out of range: ", frame);
+    const Frame &f = frames_[frame];
+    if (!f.valid || offset >= f.sigs.size())
+        return nullptr;
+    return &f.sigs[offset];
+}
+
+// LTC_HOT_END
 
 } // namespace ltc
 

@@ -16,88 +16,32 @@ SignatureCache::SignatureCache(std::uint32_t entries, std::uint32_t assoc)
     ltc_assert(isPowerOf2(sets_),
                "signature cache set count must be a power of two, got ",
                sets_);
-    table_.resize(entries_);
-}
-
-std::uint32_t
-SignatureCache::setOf(std::uint64_t key) const
-{
-    // Indexed by the low-order bits of the signature (Section 5.6).
-    return static_cast<std::uint32_t>(key & (sets_ - 1));
-}
-
-void
-SignatureCache::insert(const SigCacheEntry &entry)
-{
-    inserts_++;
-    const std::uint32_t set = setOf(entry.key);
-    SigCacheEntry *base = &table_[static_cast<std::size_t>(set) * assoc_];
-
-    // Refresh an existing copy of the same signature in place.
-    for (std::uint32_t w = 0; w < assoc_; w++) {
-        if (base[w].valid && base[w].key == entry.key) {
-            const std::uint64_t stamp = base[w].fillTime;
-            base[w] = entry;
-            base[w].valid = true;
-            base[w].fillTime = stamp;
-            return;
-        }
-    }
-
-    // FIFO victim: the oldest fillTime; invalid ways first.
-    SigCacheEntry *victim = &base[0];
-    for (std::uint32_t w = 0; w < assoc_; w++) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].fillTime < victim->fillTime)
-            victim = &base[w];
-    }
-    if (victim->valid)
-        fifoEvictions_++;
-    *victim = entry;
-    victim->valid = true;
-    victim->fillTime = ++stamp_;
-}
-
-SigCacheEntry *
-SignatureCache::lookup(std::uint64_t key)
-{
-    lookups_++;
-    const std::uint32_t set = setOf(key);
-    SigCacheEntry *base = &table_[static_cast<std::size_t>(set) * assoc_];
-    for (std::uint32_t w = 0; w < assoc_; w++) {
-        if (base[w].valid && base[w].key == key) {
-            hits_++;
-            return &base[w];
-        }
-    }
-    return nullptr;
+    keys_.assign(entries_, 0);
+    fill_.assign(entries_, 0);
+    payload_.assign(entries_, SigPayload{});
 }
 
 void
 SignatureCache::invalidateFrame(std::uint32_t frame)
 {
-    for (SigCacheEntry &e : table_) {
-        if (e.valid && e.frame == frame)
-            e.valid = false;
+    for (std::size_t i = 0; i < payload_.size(); i++) {
+        if (fill_[i] != 0 && payload_[i].frame == frame)
+            fill_[i] = 0;
     }
 }
 
 void
 SignatureCache::clear()
 {
-    for (SigCacheEntry &e : table_)
-        e.valid = false;
+    std::fill(fill_.begin(), fill_.end(), 0);
 }
 
 std::uint32_t
 SignatureCache::occupancy() const
 {
     std::uint32_t n = 0;
-    for (const SigCacheEntry &e : table_)
-        n += e.valid ? 1 : 0;
+    for (const std::uint64_t f : fill_)
+        n += f != 0 ? 1 : 0;
     return n;
 }
 

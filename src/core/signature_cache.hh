@@ -8,6 +8,16 @@
  * a pointer (frame, offset) to its exact location in off-chip
  * sequence storage, used to advance the owning fragment's sliding
  * window and to write confidence updates back (Section 4.4).
+ *
+ * Layout is structure-of-arrays: the signature keys, the FIFO stamps
+ * and the prediction payloads live in three parallel arrays. The
+ * per-reference lookup scans only the key array — a 2-way set is one
+ * 16-byte load — and touches a payload solely on a hit; the AoS
+ * layout it replaces dragged the full ~40-byte entry through the
+ * cache on every probe of the default 32K-entry configuration. A
+ * FIFO stamp of 0 means the way is empty (live stamps start at 1),
+ * which also makes empty ways naturally win the oldest-stamp victim
+ * scan.
  */
 
 #ifndef LTC_CORE_SIGNATURE_CACHE_HH
@@ -21,7 +31,7 @@
 namespace ltc
 {
 
-/** One signature resident in the on-chip cache. */
+/** One signature to install in the on-chip cache (insert()). */
 struct SigCacheEntry
 {
     /** Last-touch signature this entry matches. */
@@ -36,10 +46,21 @@ struct SigCacheEntry
     std::uint32_t frame = 0;
     /** Pointer into off-chip storage: offset within the fragment. */
     std::uint32_t offset = 0;
-    /** FIFO stamp. */
-    std::uint64_t fillTime = 0;
-    /** Entry holds a live signature. */
-    bool valid = false;
+};
+
+/** Prediction payload of a resident signature (lookup()). */
+struct SigPayload
+{
+    /** Predicted replacement block to prefetch. */
+    Addr replacement = invalidAddr;
+    /** Block whose last touch this signature identifies. */
+    Addr victim = invalidAddr;
+    /** Pointer into off-chip storage: frame index. */
+    std::uint32_t frame = 0;
+    /** Pointer into off-chip storage: offset within the fragment. */
+    std::uint32_t offset = 0;
+    /** 2-bit prediction confidence. */
+    std::uint8_t confidence = 0;
 };
 
 /** Set-associative FIFO cache of active sliding windows. */
@@ -55,12 +76,16 @@ class SignatureCache
     /**
      * Insert a signature; evicts the oldest (FIFO) entry of the set
      * if full. Re-inserting an existing key refreshes its payload but
-     * keeps its FIFO stamp.
+     * keeps its FIFO stamp. Defined inline below (streaming installs
+     * ride the observe path).
      */
     void insert(const SigCacheEntry &entry);
 
-    /** Find the entry for @p key; nullptr when absent. */
-    SigCacheEntry *lookup(std::uint64_t key);
+    /**
+     * Payload of the entry for @p key; nullptr when absent. Inline:
+     * probed once per L1 reference in the LT-cords observe path.
+     */
+    const SigPayload *lookup(std::uint64_t key);
 
     /** Invalidate all entries pointing into @p frame (re-recording). */
     void invalidateFrame(std::uint32_t frame);
@@ -103,7 +128,10 @@ class SignatureCache
     std::uint32_t entries_;
     std::uint32_t assoc_;
     std::uint32_t sets_;
-    std::vector<SigCacheEntry> table_;
+    // Parallel arrays, indexed set * assoc + way (see file comment).
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> fill_; //!< FIFO stamp; 0 = empty way
+    std::vector<SigPayload> payload_;
     std::uint64_t stamp_ = 0;
 
     std::uint64_t inserts_ = 0;
@@ -111,6 +139,76 @@ class SignatureCache
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;
 };
+
+// ------------------------------------------------------ hot path
+//
+// lookup() runs once per L1 reference and insert() once per streamed
+// signature inside the LT-cords observe path; both are defined inline
+// so that path crosses no call boundary for them.
+//
+// LTC_HOT_BEGIN: tools/ltc_lint.py bans hash maps, the modulo
+// operator and virtual declarations between these markers.
+
+inline std::uint32_t
+SignatureCache::setOf(std::uint64_t key) const
+{
+    // Indexed by the low-order bits of the signature (Section 5.6).
+    return static_cast<std::uint32_t>(key & (sets_ - 1));
+}
+
+inline const SigPayload *
+SignatureCache::lookup(std::uint64_t key)
+{
+    lookups_++;
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(key)) * assoc_;
+    const std::uint64_t *keys = keys_.data() + base;
+    for (std::uint32_t w = 0; w < assoc_; w++) {
+        if (keys[w] == key && fill_[base + w] != 0) {
+            hits_++;
+            return &payload_[base + w];
+        }
+    }
+    return nullptr;
+}
+
+inline void
+SignatureCache::insert(const SigCacheEntry &entry)
+{
+    inserts_++;
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(entry.key)) * assoc_;
+
+    // Refresh an existing copy of the same signature in place,
+    // keeping its FIFO stamp; otherwise take the oldest way (empty
+    // ways carry stamp 0, so they naturally win the scan, lowest way
+    // first on ties).
+    std::uint32_t way = assoc_;
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 0; w < assoc_; w++) {
+        if (keys_[base + w] == entry.key && fill_[base + w] != 0) {
+            way = w;
+            break;
+        }
+        if (fill_[base + w] < fill_[base + victim])
+            victim = w;
+    }
+    if (way == assoc_) {
+        way = victim;
+        if (fill_[base + way] != 0)
+            fifoEvictions_++;
+        fill_[base + way] = ++stamp_;
+    }
+    keys_[base + way] = entry.key;
+    SigPayload &p = payload_[base + way];
+    p.replacement = entry.replacement;
+    p.victim = entry.victim;
+    p.frame = entry.frame;
+    p.offset = entry.offset;
+    p.confidence = entry.confidence;
+}
+
+// LTC_HOT_END
 
 } // namespace ltc
 

@@ -77,6 +77,20 @@ class Prefetcher
     virtual void feedback(const PrefetchFeedback &fb) { (void)fb; }
 
     /**
+     * Feedback for a batch of issued requests in event order. The
+     * engines buffer the outcome events of each reference and flush
+     * them in one call, so predictors pay one virtual dispatch per
+     * drain instead of one per event; the default simply loops over
+     * feedback(), which overrides must match event-for-event.
+     */
+    virtual void
+    feedbackBatch(const PrefetchFeedback *fbs, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; i++)
+            feedback(fbs[i]);
+    }
+
+    /**
      * Advance the predictor's notion of time (cycle engine). Trace
      * engines never call this; predictors that model internal
      * latencies (LT-cords signature streaming) use it.

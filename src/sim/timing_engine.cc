@@ -50,13 +50,14 @@ TimingSim::onEviction(Addr victim_addr, Addr incoming_addr,
         running_.traffic.add(Traffic::IncorrectPrefetch,
                              config_.hier.l1d.lineBytes);
     }
-    inflight_.erase(victim_addr);
-    if (pred_) {
-        PrefetchFeedback fb;
-        fb.target = victim_addr;
-        fb.useless = true;
-        pred_->feedback(fb);
-    }
+    // The victim's in-flight entry (if any) is deliberately kept: the
+    // eviction removes the L1 copy, but the physical fill is still on
+    // the busses, and a re-reference that hits the block's L2 copy
+    // must wait for that arrival. Erasing here dropped the completion
+    // time and let such re-references under-count latency; stale
+    // entries are bounded by purgeInflight() instead.
+    if (pred_)
+        bufferFeedback(victim_addr, true);
 }
 
 Cycle
@@ -89,13 +90,18 @@ TimingSim::missCompletion(Addr block, HitLevel level, Cycle ready)
 }
 
 void
-TimingSim::enqueuePrefetch(const PrefetchRequest &req)
+TimingSim::enqueuePrefetch(const PrefetchRequest &req, Cycle now)
 {
     // Duplicate filter: requests whose block is already resident (or
     // already in flight) would waste request-queue slots and issue
     // bandwidth; real prefetchers filter them against the tag array.
+    // An in-flight entry counts only while its fill is still pending
+    // (completion in the future): entries now outlive L1 evictions
+    // (see onEviction), and a long-completed fill of a since-evicted
+    // block must not veto a fresh prefetch.
     const Addr block = hier_.l1d().blockAlign(req.target);
-    if (!inflight_.empty() && inflight_.count(block))
+    const Cycle *fill = inflight_.find(block);
+    if (fill && *fill > now)
         return;
     if (req.intoL1 ? hier_.l1d().probe(block) : hier_.l2().probe(block))
         return;
@@ -129,7 +135,8 @@ TimingSim::drainPrefetchQueue(Cycle now)
         const bool resident = front.intoL1
             ? hier_.l1d().probe(block)
             : hier_.l2().probe(block);
-        if (resident || inflight_.count(block)) {
+        const Cycle *fill = inflight_.find(block);
+        if (resident || (fill && *fill > now)) {
             prefetchQueue_.pop_front();
             continue;
         }
@@ -151,12 +158,8 @@ TimingSim::issuePrefetch(const PrefetchRequest &req, Cycle now)
 
     if (req.intoL1) {
         if (hier_.l1d().probe(block)) {
-            if (pred_) {
-                PrefetchFeedback fb;
-                fb.target = req.target;
-                fb.useless = true;
-                pred_->feedback(fb);
-            }
+            if (pred_)
+                bufferFeedback(req.target, true);
             return;
         }
     } else if (hier_.l2().probe(block)) {
@@ -186,7 +189,7 @@ TimingSim::issuePrefetch(const PrefetchRequest &req, Cycle now)
             hier_.prefetch(req.target, req.predictedVictim);
         if (out.alreadyInL1)
             return;
-        inflight_[block] = complete;
+        inflight_.insert(block, complete);
         // One classification entry per block: retire any stale
         // L2-side entry before writing the L1 line's.
         hier_.l2().takeMeta(block);
@@ -197,7 +200,7 @@ TimingSim::issuePrefetch(const PrefetchRequest &req, Cycle now)
             pred_->onPrefetchEviction(out.l1VictimAddr, req.target);
     } else {
         hier_.l2().fill(block);
-        inflight_[block] = data_ready;
+        inflight_.insert(block, data_ready);
         hier_.l1d().takeMeta(block);
         hier_.l2().setMeta(block, LineMetaFetched | LineMetaOffChip);
     }
@@ -224,36 +227,48 @@ TimingSim::chargeMetaTraffic(Cycle now)
 }
 
 void
-TimingSim::step(const MemRef &ref)
+TimingSim::purgeInflight(Cycle horizon)
+{
+    // Safety: the core's issue cycle never decreases, every later
+    // completion is at least its (later) ready >= issue cycle, so an
+    // entry whose fill completed at or before the current issue cycle
+    // can never raise a later completion — dropping it is invisible.
+    inflight_.eraseIf([horizon](Addr, const Cycle &fill) {
+        return fill <= horizon;
+    });
+    inflightPurgeTrigger_ =
+        std::max<std::size_t>(64, 2 * inflight_.size());
+}
+
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+void
+TimingSim::stepImpl(const MemRef &ref, PredCursor &cur)
 {
     core_.issueNonMem(ref.nonMemGap);
     const Cycle issue = core_.beginMem();
     Cycle ready = issue;
     if (ref.dependsOnPrev)
-        ready = std::max(ready, lastLoadComplete_);
+        ready = std::max(ready, cur.lastLoad);
 
     const Addr block = hier_.l1d().blockAlign(ref.addr);
-    const HierOutcome out = hier_.access(ref.addr, ref.op);
-    running_.accesses++;
+    const HierOutcome out = hier_.access<L1Assoc, L2Assoc>(ref.addr,
+                                                           ref.op);
+    cur.accesses++;
 
     Cycle complete;
     if (out.l1Hit()) {
         complete = ready + config_.hier.l1d.latency;
-        // The block may be present functionally but still in flight
-        // (the empty() guard keeps baseline and post-drain streams
-        // from paying the hash probe).
-        if (!inflight_.empty()) {
-            auto it = inflight_.find(block);
-            if (it != inflight_.end()) {
-                if (it->second > complete) {
-                    complete = it->second;
-                    running_.partial++;
-                }
-                inflight_.erase(it);
+        // The block may be present functionally but still in flight;
+        // an open-addressed probe is cheap enough to do every time.
+        if (const Cycle *fill = inflight_.find(block)) {
+            if (*fill > complete) {
+                complete = *fill;
+                cur.partial++;
             }
+            inflight_.erase(block);
         }
         if (out.l1HitOnPrefetch) {
-            running_.correct++;
+            cur.correct++;
             // The access consumed the L1 line's classification
             // entry; fall back to an L2-side entry.
             std::uint8_t meta = out.l1Meta;
@@ -263,17 +278,13 @@ TimingSim::step(const MemRef &ref)
                 running_.traffic.add(Traffic::BaseData,
                                      config_.hier.l1d.lineBytes);
             }
-            if (pred_) {
-                PrefetchFeedback fb;
-                fb.target = ref.addr;
-                fb.useless = false;
-                pred_->feedback(fb);
-            }
+            if (pred_)
+                bufferFeedback(ref.addr, false);
         }
     } else {
-        running_.l1Misses++;
+        cur.l1Misses++;
         if (out.level == HitLevel::Memory) {
-            running_.l2Misses++;
+            cur.l2Misses++;
             running_.traffic.add(Traffic::BaseData,
                                  config_.hier.l1d.lineBytes);
         } else if (out.l2HitOnPrefetch) {
@@ -282,52 +293,71 @@ TimingSim::step(const MemRef &ref)
                 running_.traffic.add(Traffic::BaseData,
                                      config_.hier.l1d.lineBytes);
             }
-            if (pred_) {
-                PrefetchFeedback fb;
-                fb.target = ref.addr;
-                fb.useless = false;
-                pred_->feedback(fb);
-            }
+            if (pred_)
+                bufferFeedback(ref.addr, false);
         }
 
-        // An L2 prefetch still in flight partially hides the L2 hit.
+        // A prefetch fill still in flight (L2 prefetch, or an L1
+        // prefetch whose line was evicted before arrival) floors the
+        // completion: the demand cannot finish before the data shows
+        // up. Counted as partial only when the floor binds.
         Cycle inflight_floor = 0;
-        if (!inflight_.empty()) {
-            auto it = inflight_.find(block);
-            if (it != inflight_.end()) {
-                inflight_floor = it->second;
-                running_.partial++;
-                inflight_.erase(it);
-            }
+        if (const Cycle *fill = inflight_.find(block)) {
+            inflight_floor = *fill;
+            inflight_.erase(block);
         }
 
         if (auto merged = mshrs_.lookup(block)) {
             mshrs_.noteMerge();
             complete = std::max(*merged, ready +
                                 config_.hier.l1d.latency);
+            if (inflight_floor > complete) {
+                complete = inflight_floor;
+                cur.partial++;
+            }
         } else {
             const Cycle alloc = mshrs_.allocReadyAt(ready);
             complete = missCompletion(block, out.level, alloc);
-            complete = std::max(complete, inflight_floor);
+            if (inflight_floor > complete) {
+                complete = inflight_floor;
+                cur.partial++;
+            }
             mshrs_.allocate(block, alloc, complete);
         }
-        running_.missLatencyTotal += complete - ready;
+        cur.missLatency += complete - ready;
     }
 
     core_.completeMem(complete);
     if (ref.isLoad())
-        lastLoadComplete_ = complete;
+        cur.lastLoad = complete;
     mshrs_.retire(complete);
 
     if (pred_) {
+        // Access-time feedback (evictions, consumed prefetches) must
+        // be visible before the predictor reads confidences.
+        flushFeedback();
         pred_->setNow(issue);
         pred_->observe(ref, out);
         pred_->drainRequestsInto(reqBuf_);
         for (const PrefetchRequest &req : reqBuf_)
-            enqueuePrefetch(req);
+            enqueuePrefetch(req, ready);
         drainPrefetchQueue(ready);
+        // Issue-time feedback writes confidence bytes the metadata
+        // charge below accounts.
+        flushFeedback();
         chargeMetaTraffic(issue);
+        if (inflight_.size() >= inflightPurgeTrigger_)
+            purgeInflight(issue);
     }
+}
+
+void
+TimingSim::step(const MemRef &ref)
+{
+    PredCursor cur;
+    cur.lastLoad = lastLoadComplete_;
+    stepImpl<0, 0>(ref, cur);
+    commitPred(cur);
 }
 
 /**
@@ -431,6 +461,42 @@ TimingSim::runBaseline(TraceSource &src, std::uint64_t refs)
         });
 }
 
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+std::uint64_t
+TimingSim::runPredictedLoop(TraceSource &src, std::uint64_t refs)
+{
+    // Same per-reference events as step() (shared stepImpl), but the
+    // cursor counters live in registers for the whole run and the way
+    // scans are unrolled for the static associativities.
+    PredCursor cur;
+    cur.lastLoad = lastLoadComplete_;
+    std::uint64_t done = 0;
+    while (done < refs) {
+        // Clamp the pull to the caller's budget: a multi-programmed
+        // quantum must not consume records its next quantum replays.
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(refs - done, timingBatchRefs));
+        const std::size_t got = src.fill({batch_.data(), want});
+        for (std::size_t i = 0; i < got; i++)
+            stepImpl<L1Assoc, L2Assoc>(batch_[i], cur);
+        done += got;
+        if (got < want)
+            break; // end of trace
+    }
+    commitPred(cur);
+    return done;
+}
+
+std::uint64_t
+TimingSim::runPredicted(TraceSource &src, std::uint64_t refs)
+{
+    return dispatchByAssociativity(
+        hier_.l1d().config().assoc, hier_.l2().config().assoc,
+        [&](auto a1, auto a2) {
+            return runPredictedLoop<a1(), a2()>(src, refs);
+        });
+}
+
 std::uint64_t
 TimingSim::run(TraceSource &src, std::uint64_t refs)
 {
@@ -450,19 +516,7 @@ TimingSim::run(TraceSource &src, std::uint64_t refs)
         return done;
     }
 
-    std::uint64_t done = 0;
-    while (done < refs) {
-        // Clamp the pull to the caller's budget: a multi-programmed
-        // quantum must not consume records its next quantum replays.
-        const std::size_t want = static_cast<std::size_t>(
-            std::min<std::uint64_t>(refs - done, timingBatchRefs));
-        const std::size_t got = src.fill({batch_.data(), want});
-        for (std::size_t i = 0; i < got; i++)
-            step(batch_[i]);
-        done += got;
-        if (got < want)
-            break; // end of trace
-    }
+    const std::uint64_t done = runPredicted(src, refs);
     maybeAudit();
     return done;
 }
@@ -483,10 +537,11 @@ TimingSim::auditInvariants() const
     dram_.auditInvariants();
     if (pred_)
         pred_->auditInvariants();
-    for (const auto &entry : inflight_) {
-        LTC_CHECK(hier_.l1d().blockAlign(entry.first) == entry.first,
-                  "unaligned in-flight block ", entry.first);
-    }
+    inflight_.auditInvariants();
+    inflight_.forEach([this](Addr block, const Cycle &) {
+        LTC_CHECK(hier_.l1d().blockAlign(block) == block,
+                  "unaligned in-flight block ", block);
+    });
 }
 
 TimingStats

@@ -27,7 +27,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -40,6 +39,7 @@
 #include "pred/prefetcher.hh"
 #include "trace/trace.hh"
 #include "util/check.hh"
+#include "util/flat_map.hh"
 #include "util/types.hh"
 
 namespace ltc
@@ -172,11 +172,100 @@ class TimingSim : public CacheListener
     std::uint64_t runBaselineLoop(TraceSource &src,
                                   std::uint64_t refs);
 
+    /**
+     * Register-resident counter state for the predicted kernel (the
+     * treatment runBaselineLoop gives baseline runs): the TimingStats
+     * counters the per-reference path increments live in this POD for
+     * a whole run, so the inner loop carries no loop-carried
+     * dependences through the engine's memory. step() commits one
+     * immediately; runPredictedLoop() commits at run end.
+     */
+    struct PredCursor
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t correct = 0;
+        std::uint64_t partial = 0;
+        Cycle missLatency = 0;
+        Cycle lastLoad = 0;
+    };
+
+    /**
+     * The full per-reference event sequence — shared verbatim by the
+     * scalar step() (instantiated with runtime associativity) and the
+     * batched runPredictedLoop() (static associativity), so the two
+     * paths cannot diverge; the timing-equivalence suite pins it.
+     */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    void stepImpl(const MemRef &ref, PredCursor &cur);
+
+    /** Fold a cursor back into the running statistics. */
+    void
+    commitPred(const PredCursor &cur)
+    {
+        running_.accesses += cur.accesses;
+        running_.l1Misses += cur.l1Misses;
+        running_.l2Misses += cur.l2Misses;
+        running_.correct += cur.correct;
+        running_.partial += cur.partial;
+        running_.missLatencyTotal += cur.missLatency;
+        lastLoadComplete_ = cur.lastLoad;
+    }
+
+    /** Batched predictor-run kernel (see PredCursor). */
+    std::uint64_t runPredicted(TraceSource &src, std::uint64_t refs);
+    /** runPredicted's loop, specialized per cache associativity. */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    std::uint64_t runPredictedLoop(TraceSource &src,
+                                   std::uint64_t refs);
+
+    /** Queue one feedback event for the next flushFeedback(). */
+    void
+    bufferFeedback(Addr target, bool useless)
+    {
+        PrefetchFeedback fb;
+        fb.target = target;
+        fb.useless = useless;
+        fbBuf_.push_back(fb);
+    }
+
+    /**
+     * Deliver buffered feedback events, in order, as one batch.
+     * stepImpl() flushes at exactly two points per reference: before
+     * the predictor observes (access-time events must be visible to
+     * the confidence reads of observe()) and after the prefetch-issue
+     * drain, before metadata traffic is charged (feedback writes
+     * confidence bytes the charge accounts).
+     */
+    void
+    flushFeedback()
+    {
+        if (fbBuf_.empty())
+            return;
+        pred_->feedbackBatch(fbBuf_.data(), fbBuf_.size());
+        fbBuf_.clear();
+    }
+
+    /**
+     * Drop in-flight entries whose fill completed at or before
+     * @p horizon (the current issue cycle, which the core never
+     * rewinds). Such an entry can never floor a later completion —
+     * every later completion is at least the later issue cycle — so
+     * the purge is semantics-preserving; it only bounds the table,
+     * which no longer shrinks at evictions (an evicted block's
+     * pending fill must keep its completion time, see onEviction).
+     * Amortized: runs when the table reaches the trigger size, which
+     * then doubles.
+     */
+    void purgeInflight(Cycle horizon);
+
     /** Latency path for a demand L1 miss; returns completion cycle. */
     Cycle missCompletion(Addr block, HitLevel level, Cycle ready);
 
-    /** Enqueue a predictor request (dropping the oldest when full). */
-    void enqueuePrefetch(const PrefetchRequest &req);
+    /** Enqueue a predictor request (dropping the oldest when full);
+     *  @p now bounds the "still in flight" duplicate filter. */
+    void enqueuePrefetch(const PrefetchRequest &req, Cycle now);
 
     /** Issue queued prefetches while the channels are idle at @p now. */
     void drainPrefetchQueue(Cycle now);
@@ -222,8 +311,19 @@ class TimingSim : public CacheListener
     /** Pending predictor requests (the 128-entry request queue). */
     std::deque<PrefetchRequest> prefetchQueue_;
 
-    /** Blocks prefetched but whose data is still in flight. */
-    std::unordered_map<Addr, Cycle> inflight_;
+    /**
+     * Blocks prefetched but whose data is still in flight, mapped to
+     * the cycle the fill completes. Open-addressed (util/flat_map.hh):
+     * probes are cheap by construction — an absent key on an
+     * empty-ish table is one masked load — so the hit/miss/enqueue
+     * paths probe unconditionally instead of guarding with empty()
+     * checks that once let the call sites diverge. Entries persist
+     * across L1 evictions (the data is still physically in flight;
+     * see onEviction) and are bounded by purgeInflight().
+     */
+    AddrMap<Cycle> inflight_;
+    /** purgeInflight() trigger size (doubles after each purge). */
+    std::size_t inflightPurgeTrigger_ = 64;
     /**
      * Off-chip classification of prefetched blocks rides on the
      * cache lines themselves (LineMeta* bits, cache/cache.hh); the
@@ -231,6 +331,7 @@ class TimingSim : public CacheListener
      */
     std::vector<MemRef> batch_;           //!< run() pull buffer
     std::vector<PrefetchRequest> reqBuf_; //!< predictor drain buffer
+    std::vector<PrefetchFeedback> fbBuf_; //!< feedback batch buffer
 
     // Per-run constants of the miss event path, hoisted out of the
     // per-event arithmetic: bus occupancies for the two transfer

@@ -50,12 +50,8 @@ class TraceEngine::L2Listener : public CacheListener
             }
         }
         s.uselessPrefetches++;
-        if (owner_.pred_) {
-            PrefetchFeedback fb;
-            fb.target = victim_addr;
-            fb.useless = true;
-            owner_.pred_->feedback(fb);
-        }
+        if (owner_.pred_)
+            owner_.bufferFeedback(victim_addr, true);
     }
 
   private:
@@ -121,12 +117,8 @@ TraceEngine::onEviction(Addr victim_addr, Addr incoming_addr,
                               hierConfig_.l1d.lineBytes);
             }
         }
-        if (pred_) {
-            PrefetchFeedback fb;
-            fb.target = victim_addr;
-            fb.useless = true;
-            pred_->feedback(fb);
-        }
+        if (pred_)
+            bufferFeedback(victim_addr, true);
         return;
     }
 
@@ -147,12 +139,8 @@ TraceEngine::issuePrefetch(const PrefetchRequest &req)
         const PrefetchOutcome out =
             hier_.prefetch(req.target, req.predictedVictim);
         if (out.alreadyInL1) {
-            if (pred_) {
-                PrefetchFeedback fb;
-                fb.target = req.target;
-                fb.useless = true;
-                pred_->feedback(fb);
-            }
+            if (pred_)
+                bufferFeedback(req.target, true);
             return;
         }
         // At most one classification entry per block: retire any
@@ -184,6 +172,10 @@ TraceEngine::drainPredictor()
     pred_->drainRequestsInto(reqBuf_);
     for (const PrefetchRequest &req : reqBuf_)
         issuePrefetch(req);
+    // Issue-time feedback (filtered prefetches, fills evicting
+    // untouched prefetches) writes confidence bytes the metadata
+    // drain below accounts.
+    flushFeedback();
     const auto [write_bytes, read_bytes] = pred_->drainMetaTraffic();
     CoverageStats &s = buckets_[current_];
     s.traffic.add(Traffic::SequenceCreate, write_bytes);
@@ -214,12 +206,8 @@ TraceEngine::step(const MemRef &ref)
                 s.traffic.add(Traffic::BaseData,
                               hierConfig_.l1d.lineBytes);
             }
-            if (pred_) {
-                PrefetchFeedback fb;
-                fb.target = ref.addr;
-                fb.useless = false;
-                pred_->feedback(fb);
-            }
+            if (pred_)
+                bufferFeedback(ref.addr, false);
         }
     } else {
         s.l1Misses++;
@@ -236,16 +224,15 @@ TraceEngine::step(const MemRef &ref)
                 s.traffic.add(Traffic::BaseData,
                               hierConfig_.l1d.lineBytes);
             }
-            if (pred_) {
-                PrefetchFeedback fb;
-                fb.target = ref.addr;
-                fb.useless = false;
-                pred_->feedback(fb);
-            }
+            if (pred_)
+                bufferFeedback(ref.addr, false);
         }
     }
 
     if (pred_) {
+        // Access-time feedback must be visible before the predictor
+        // reads confidences in observe().
+        flushFeedback();
         pred_->observe(ref, out);
         drainPredictor();
     }
@@ -366,10 +353,7 @@ TraceEngine::runPredictedLoop(TraceSource &src, std::uint64_t refs)
                         (meta & LineMetaOffChip)) {
                         base_bytes += line_bytes;
                     }
-                    PrefetchFeedback fb;
-                    fb.target = ref.addr;
-                    fb.useless = false;
-                    pred_->feedback(fb);
+                    bufferFeedback(ref.addr, false);
                 }
             } else {
                 l1_misses++;
@@ -383,13 +367,13 @@ TraceEngine::runPredictedLoop(TraceSource &src, std::uint64_t refs)
                         (out.l2Meta & LineMetaOffChip)) {
                         base_bytes += line_bytes;
                     }
-                    PrefetchFeedback fb;
-                    fb.target = ref.addr;
-                    fb.useless = false;
-                    pred_->feedback(fb);
+                    bufferFeedback(ref.addr, false);
                 }
             }
 
+            // Same two flush points as step(): access-time events
+            // before observe(), issue-time events in drainPredictor().
+            flushFeedback();
             pred_->observe(ref, out);
             drainPredictor();
         }

@@ -166,6 +166,34 @@ class TraceEngine : public CacheListener
 
     void issuePrefetch(const PrefetchRequest &req);
     void drainPredictor();
+
+    /** Queue one feedback event for the next flushFeedback(). */
+    void
+    bufferFeedback(Addr target, bool useless)
+    {
+        PrefetchFeedback fb;
+        fb.target = target;
+        fb.useless = useless;
+        fbBuf_.push_back(fb);
+    }
+
+    /**
+     * Deliver buffered feedback events, in order, as one batch. The
+     * engine flushes at exactly two points per reference: before the
+     * predictor observes (access-time events — demand evictions,
+     * consumed prefetches — must be visible to the confidence reads
+     * of observe()) and inside drainPredictor() after the issue loop,
+     * before the metadata drain (feedback writes confidence bytes the
+     * drain accounts).
+     */
+    void
+    flushFeedback()
+    {
+        if (fbBuf_.empty())
+            return;
+        pred_->feedbackBatch(fbBuf_.data(), fbBuf_.size());
+        fbBuf_.clear();
+    }
     /** Trimmed kernel for predictor-less runs (see run()). */
     std::uint64_t runBaseline(TraceSource &src, std::uint64_t refs);
     /** runBaseline's loop, specialized per cache associativity. */
@@ -202,6 +230,7 @@ class TraceEngine : public CacheListener
      */
     std::vector<MemRef> batch_;           //!< run() pull buffer
     std::vector<PrefetchRequest> reqBuf_; //!< predictor drain buffer
+    std::vector<PrefetchFeedback> fbBuf_; //!< feedback batch buffer
     /** Listener adapter for L2 (classifies GHB-style L2 prefetches). */
     class L2Listener;
     std::unique_ptr<L2Listener> l2Listener_;

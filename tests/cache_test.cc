@@ -9,6 +9,8 @@
 
 #include "cache/cache.hh"
 #include "cache/cache_config.hh"
+#include "cache/set_scan.hh"
+#include "util/random.hh"
 
 namespace ltc
 {
@@ -307,6 +309,73 @@ INSTANTIATE_TEST_SUITE_P(
                       Geometry{64, 2, ReplPolicy::FIFO},
                       Geometry{4, 2, ReplPolicy::Random},
                       Geometry{512, 2, ReplPolicy::LRU}));
+
+// ---------------------------------------------------------- set scan
+//
+// The SIMD and portable maskedEqBits kernels must agree bit-for-bit
+// on every input: the engines' golden/equivalence suites pin the
+// end-to-end consequence, this pins the primitive directly (and on a
+// SIMD-less build it degenerates to portable-vs-portable, still
+// checking the dispatcher wiring).
+
+template <std::uint32_t Assoc>
+void
+scanAgreementRound(Rng &rng)
+{
+    std::uint64_t words[Assoc];
+    for (std::uint32_t w = 0; w < Assoc; w++)
+        words[w] = rng.next();
+    // Mix of structured and random select/want pairs: a tag-style
+    // mask, a single-bit valid probe, and raw noise.
+    const std::uint64_t selects[] = {~std::uint64_t{0x3e}, 0x01,
+                                     rng.next()};
+    for (const std::uint64_t select : selects) {
+        // Force some matches: copy a masked word into `want` half of
+        // the time so the all-zero mask is not the only case covered.
+        const std::uint64_t want = (rng.next() & 1)
+            ? (words[rng.below(Assoc)] & select)
+            : (rng.next() & select);
+        const std::uint32_t got = maskedEqBits<Assoc>(words, select,
+                                                      want);
+        std::uint32_t expect = 0;
+        for (std::uint32_t w = 0; w < Assoc; w++)
+            expect |= ((words[w] & select) == want ? 1u : 0u) << w;
+        ASSERT_EQ(got, expect)
+            << "assoc " << Assoc << " select " << select;
+        ASSERT_EQ(maskedEqBitsPortable<Assoc>(words, select, want),
+                  expect);
+        if (got) {
+            ASSERT_EQ(firstWay(got),
+                      static_cast<std::uint32_t>(
+                          __builtin_ctz(expect)));
+        }
+    }
+}
+
+TEST(SetScan, SimdAndPortableKernelsAgree)
+{
+    Rng rng(0xdecafbad);
+    for (int round = 0; round < 20000; round++) {
+        scanAgreementRound<2>(rng);
+        scanAgreementRound<4>(rng);
+        scanAgreementRound<8>(rng);
+        scanAgreementRound<16>(rng);
+    }
+}
+
+TEST(SetScan, MatchlessAndFullMasks)
+{
+    // Degenerate corners: all ways match, no way matches.
+    std::uint64_t words[8];
+    for (std::uint32_t w = 0; w < 8; w++)
+        words[w] = 0xabcd0000 + w; // differ only in low bits
+    EXPECT_EQ(maskedEqBits<8>(words, ~std::uint64_t{0xff},
+                              0xabcd0000),
+              0xffu);
+    EXPECT_EQ(maskedEqBits<8>(words, ~std::uint64_t{0}, 0x1234), 0u);
+    EXPECT_EQ(firstWay(0x80u), 7u);
+    EXPECT_EQ(firstWay(0x01u), 0u);
+}
 
 } // namespace
 } // namespace ltc

@@ -215,6 +215,86 @@ TEST(SequenceStorageTest, ClearEmpties)
     EXPECT_EQ(st.framesInUse(), 0u);
 }
 
+TEST(SequenceStorageTest, HeadRingWrapsWithoutSkew)
+{
+    // Regression for the head-history ring: with a non-power-of-two
+    // lookahead the ring cursor must wrap explicitly (indexing a
+    // monotonic counter with `% size` skews slot selection once the
+    // counter wraps). Pin the fixed semantics directly: across many
+    // fragments, every new fragment's head is exactly the key
+    // recorded `headLookahead` positions before the fragment start.
+    LtcordsConfig c;
+    c.numFrames = 4096;
+    c.fragmentSignatures = 5;
+    c.headLookahead = 3; // non-power-of-two
+    SequenceStorage st(c);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t i = 0; i < 2000; i++) {
+        // Distinct keys spread over the frame index space.
+        const std::uint64_t key = i * 2654435761u + 17;
+        if (!keys.empty() && keys.size() % c.fragmentSignatures == 0 &&
+            keys.size() >= c.headLookahead) {
+            // This record starts a fragment whose head must be the
+            // key recorded `headLookahead` positions earlier.
+            const std::uint64_t head =
+                keys[keys.size() - c.headLookahead];
+            st.record(key, 0, 0);
+            auto frame = st.frameForHead(head);
+            ASSERT_TRUE(frame.has_value())
+                << "fragment at record " << keys.size()
+                << " not linked to its head";
+            ASSERT_NE(st.at(*frame, 0), nullptr);
+            EXPECT_EQ(st.at(*frame, 0)->key, key);
+        } else {
+            st.record(key, 0, 0);
+        }
+        keys.push_back(key);
+    }
+    st.auditInvariants();
+}
+
+TEST(SequenceStorageTest, AdversarialStreamsKeepInvariants)
+{
+    // Property test: colliding frames (tiny frame count), fragment
+    // overflow mid-stream (tiny fragments), and a realloc callback
+    // that re-enters the storage's query interface — the invariant
+    // audit must stay green throughout.
+    LtcordsConfig c;
+    c.numFrames = 2; // nearly every fragment collides
+    c.fragmentSignatures = 3;
+    c.headLookahead = 5; // longer than a fragment
+    SequenceStorage st(c);
+    std::uint64_t reallocs = 0;
+    st.setReallocCallback([&](std::uint32_t frame) {
+        reallocs++;
+        // Reentrancy: the owner invalidating on-chip copies may query
+        // the storage (and push a stale confidence) mid-realloc.
+        EXPECT_LT(frame, 2u);
+        st.frameFill(frame);
+        st.frameValid(frame);
+        st.updateConfidence(frame, 99, 1); // stale: must be ignored
+        st.frameForHead(0xdead);
+    });
+    std::uint64_t x = 88172645463325252ull;
+    for (int i = 0; i < 5000; i++) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        st.record(x, x & ~std::uint64_t{63}, (x >> 8) & ~std::uint64_t{63});
+        if (i % 257 == 0)
+            st.auditInvariants();
+    }
+    st.auditInvariants();
+    EXPECT_GT(reallocs, 0u);
+    EXPECT_EQ(st.recordedTotal(), 5000u);
+    // Collisions bound residency: at most numFrames full fragments.
+    EXPECT_LE(st.residentSignatures(),
+              static_cast<std::uint64_t>(c.numFrames) *
+                  c.fragmentSignatures);
+    st.clear();
+    st.auditInvariants();
+}
+
 TEST(SequenceStorageTest, CapacityMatchesPaper)
 {
     LtcordsConfig paper = LtcordsConfig::paper();

@@ -259,6 +259,96 @@ TEST(TimingEquivalence, HandInjectedPrefetchDisablesFastPath)
     expectSameMachineState(batched, scalar);
 }
 
+/**
+ * Scripted predictor: requests one fixed L1 prefetch every time the
+ * trigger address is referenced.
+ */
+class TriggeredPrefetcher : public Prefetcher
+{
+  public:
+    TriggeredPrefetcher(Addr trigger, Addr target)
+        : trigger_(trigger), target_(target)
+    {
+    }
+
+    void
+    observe(const MemRef &ref, const HierOutcome &) override
+    {
+        if (ref.addr == trigger_) {
+            PrefetchRequest req;
+            req.target = target_;
+            req.intoL1 = true;
+            enqueue(req);
+        }
+    }
+
+    std::string name() const override { return "triggered"; }
+
+  private:
+    Addr trigger_;
+    Addr target_;
+};
+
+/**
+ * An L1 prefetch whose line is evicted before its fill arrives keeps
+ * its in-flight entry — the data is still physically on the busses.
+ * Re-requests of the block are filtered while that fill is pending,
+ * and allowed again once it has completed: erasing the entry at
+ * eviction (the old behaviour) re-issued the duplicate immediately,
+ * while a presence-based filter would veto the later, genuinely
+ * fresh prefetch. Both engine paths must agree exactly.
+ */
+TEST(TimingEquivalence, EvictionKeepsPendingFillAndFiltersDuplicates)
+{
+    const TimingConfig cfg = paperTiming();
+    const Addr line = cfg.hier.l1d.lineBytes;
+    const Addr stride = cfg.hier.l1d.numSets() * line;
+    const Addr target = 16 * stride;  // the prefetched block (set 0)
+    const Addr trigger = target + line; // fires the predictor (set 1)
+    const Addr idle = target + 2 * line; // neutral address (set 2)
+
+    std::vector<MemRef> refs;
+    const auto load = [&refs](Addr addr, std::uint32_t gap) {
+        MemRef r;
+        r.pc = 0x400000 + refs.size() * 4;
+        r.addr = addr;
+        r.nonMemGap = gap;
+        refs.push_back(r);
+    };
+    load(trigger, 0);            // prefetch of target goes in flight
+    load(target + stride, 0);    // fills the set's second way
+    load(target + 2 * stride, 0); // evicts the untouched prefetch
+    load(trigger, 0);            // duplicate request: fill pending
+    load(idle, 1'000'000);       // idle gap past the fill completion
+    load(trigger, 0);            // fresh request: must issue again
+
+    TriggeredPrefetcher pred_scalar(trigger, target);
+    TimingSim scalar(cfg, &pred_scalar);
+    {
+        VectorTrace src(refs);
+        MemRef r;
+        while (src.next(r))
+            scalar.step(r);
+    }
+
+    TriggeredPrefetcher pred_batched(trigger, target);
+    TimingSim batched(cfg, &pred_batched);
+    {
+        VectorTrace src(refs);
+        EXPECT_EQ(batched.run(src, refs.size()), refs.size());
+    }
+
+    // One fill evicted untouched, its in-flight duplicate filtered
+    // (not dropped — it never entered the queue), and exactly one
+    // genuine re-fill after the data had arrived.
+    EXPECT_EQ(scalar.hierarchy().l1d().prefetchFills(), 2u);
+    EXPECT_EQ(scalar.stats().useless, 1u);
+    EXPECT_EQ(scalar.stats().dropped, 0u);
+
+    expectSameTiming(batched.stats(), scalar.stats());
+    expectSameMachineState(batched, scalar);
+}
+
 /** run() must never pull more records than its budget. */
 TEST(TimingEquivalence, RunNeverOverdraws)
 {
