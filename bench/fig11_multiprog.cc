@@ -21,33 +21,48 @@ using namespace ltc;
 namespace
 {
 
+/**
+ * The one predictor recipe every Fig. 11 cell uses; standalone and
+ * paired cells must not drift apart in configuration, so both build
+ * through here from the geometry main() computed once.
+ */
+std::unique_ptr<Prefetcher>
+fig11Predictor(const HierarchyConfig &hier)
+{
+    return makePredictor("lt-cords", hier);
+}
+
+/** The paper's quantum scaled to our run lengths (~1/8 iteration). */
+std::uint64_t
+fig11Quantum(const std::string &name)
+{
+    return std::max<std::uint64_t>(
+        20'000, workloadInfo(name).refsPerIteration / 4);
+}
+
 /** Standalone coverage for reference. */
 double
-standalone(const std::string &name)
+standalone(const HierarchyConfig &hier, const std::string &name)
 {
-    auto pred = makePredictor("lt-cords", paperHierarchy());
+    auto pred = fig11Predictor(hier);
     auto src = makeWorkload(name);
-    auto s = runWithOpportunity(paperHierarchy(), pred.get(), *src,
+    auto s = runWithOpportunity(hier, pred.get(), *src,
                                 benchRefs(name, 3'000'000));
     return s.coverage();
 }
 
 /** Coverage of `primary` when co-scheduled with `partner`. */
 double
-paired(const std::string &primary, const std::string &partner)
+paired(const HierarchyConfig &hier, const std::string &primary,
+       const std::string &partner)
 {
     MultiProgConfig cfg;
+    cfg.hier = hier;
     // The paper uses 60M/120M-instruction quanta; scaled to our run
     // lengths this is ~1/8 of an iteration per switch.
-    cfg.quantumRefs = {
-        std::max<std::uint64_t>(20'000,
-                                workloadInfo(primary).refsPerIteration /
-                                    4),
-        std::max<std::uint64_t>(20'000,
-                                workloadInfo(partner).refsPerIteration /
-                                    4)};
+    cfg.quantumRefs = {fig11Quantum(primary), fig11Quantum(partner)};
     cfg.switches = 60;
-    auto pred = makePredictor("lt-cords", paperHierarchy());
+    auto pred = fig11Predictor(hier);
     std::vector<std::unique_ptr<TraceSource>> apps;
     apps.push_back(makeWorkload(primary));
     apps.push_back(makeWorkload(partner, /*seed=*/2));
@@ -88,11 +103,14 @@ main(int argc, char **argv)
     }
     ExperimentRunner::assignSeeds(cells);
 
-    auto results = sink.run(runner, cells, [](const RunCell &cell,
-                                        RunResult &r) {
+    // One geometry for the whole figure (every cell shares it).
+    const HierarchyConfig hier = paperHierarchy();
+
+    auto results = sink.run(runner, cells, [&hier](const RunCell &cell,
+                                                   RunResult &r) {
         r.set("coverage", cell.config.empty()
-            ? standalone(cell.workload)
-            : paired(cell.workload, cell.config));
+            ? standalone(hier, cell.workload)
+            : paired(hier, cell.workload, cell.config));
     });
 
     Table table("Figure 11: LT-cords coverage, standalone vs"

@@ -38,6 +38,7 @@ LtCords::LtCords(const LtcordsConfig &config)
       sigCache_(config.sigCacheEntries, config.sigCacheAssoc),
       storage_(config), streams_(config.numFrames)
 {
+    sigCache_.configurePartitions(config.sigCachePartitions);
     storage_.setReallocCallback([this](std::uint32_t frame) {
         // A frame was re-recorded: every on-chip copy and every
         // in-flight batch from the old fragment is stale.
@@ -47,6 +48,13 @@ LtCords::LtCords(const LtcordsConfig &config)
             return b.frame == frame;
         });
     });
+}
+
+void
+LtCords::selectTenant(std::uint32_t tenant)
+{
+    sigCache_.selectTenant(tenant);
+    storage_.setTenant(tenant);
 }
 
 void
@@ -254,6 +262,8 @@ LtCords::exportStats(StatSet &set) const
     set.set("frames_in_use", static_cast<double>(storage_.framesInUse()));
     set.set("frame_conflicts",
             static_cast<double>(storage_.frameConflicts()));
+    set.set("cross_tenant_conflicts",
+            static_cast<double>(storage_.crossTenantConflicts()));
     set.set("sigcache_hits", static_cast<double>(sigCache_.hits()));
     set.set("sigcache_lookups", static_cast<double>(sigCache_.lookups()));
     set.set("sigcache_fifo_evictions",

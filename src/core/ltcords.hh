@@ -58,6 +58,12 @@ class LtCords : public Prefetcher
                        std::size_t n) override;
     /** Advance the engine's notion of time (latency modelling). */
     void setNow(Cycle now) override;
+    /**
+     * Route the on-chip signature cache to @p tenant's partition
+     * slice (no-op layout in shared mode) and attribute subsequently
+     * recorded fragments to it. Cold path: once per quantum.
+     */
+    void selectTenant(std::uint32_t tenant) override;
     /** Drain (write, read) off-chip signature bytes since last call. */
     std::pair<std::uint64_t, std::uint64_t> drainMetaTraffic() override;
 

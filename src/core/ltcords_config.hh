@@ -29,6 +29,14 @@ struct LtcordsConfig
     std::uint32_t sigCacheEntries = 32 * 1024;
     /** Signature-cache associativity (2-way at 32K entries). */
     std::uint32_t sigCacheAssoc = 2;
+    /**
+     * Partition the signature cache's set space into this many
+     * per-tenant slices (multi-programming scaled out; see
+     * SignatureCache::configurePartitions). 0/1 = shared mode, which
+     * is bit-identical to an unpartitioned cache and is what every
+     * single-program experiment uses.
+     */
+    std::uint32_t sigCachePartitions = 1;
 
     //
     // Off-chip sequence storage (Sections 4.2, 5.6).

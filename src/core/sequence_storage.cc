@@ -36,11 +36,14 @@ SequenceStorage::beginFragment(std::uint64_t incoming_key)
     Frame &f = frames_[frame];
     if (f.valid) {
         frameConflicts_++;
+        if (f.owner != currentTenant_)
+            crossTenantConflicts_++;
         if (reallocCallback_)
             reallocCallback_(frame);
     }
     f.valid = true;
     f.headKey = head;
+    f.owner = currentTenant_;
     f.sigs.clear();
     f.sigs.reserve(std::min<std::uint32_t>(config_.fragmentSignatures,
                                            4096));
@@ -89,6 +92,25 @@ SequenceStorage::residentSignatures() const
     std::uint64_t n = 0;
     for (const Frame &f : frames_)
         if (f.valid)
+            n += f.sigs.size();
+    return n;
+}
+
+std::uint32_t
+SequenceStorage::tenantFrames(std::uint32_t tenant) const
+{
+    std::uint32_t n = 0;
+    for (const Frame &f : frames_)
+        n += (f.valid && f.owner == tenant) ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+SequenceStorage::tenantResidentSignatures(std::uint32_t tenant) const
+{
+    std::uint64_t n = 0;
+    for (const Frame &f : frames_)
+        if (f.valid && f.owner == tenant)
             n += f.sigs.size();
     return n;
 }
@@ -166,6 +188,7 @@ SequenceStorage::clear()
 {
     for (Frame &f : frames_) {
         f.valid = false;
+        f.owner = 0;
         f.sigs.clear();
     }
     recordFrame_.reset();

@@ -97,6 +97,31 @@ class SequenceStorage
     /** Account a streaming read of @p sigs signatures. */
     void noteStreamRead(std::uint64_t sigs);
 
+    /**
+     * Attribute subsequently recorded fragments to @p tenant
+     * (multi-programming, Section 5.5 scaled out). Cold path: set
+     * once per scheduling quantum. Frames record their owner when a
+     * fragment begins, which is what the occupancy and interference
+     * counters below aggregate.
+     */
+    void setTenant(std::uint32_t tenant) { currentTenant_ = tenant; }
+
+    /** Frames currently holding a fragment owned by @p tenant. */
+    std::uint32_t tenantFrames(std::uint32_t tenant) const;
+
+    /** Signatures resident in frames owned by @p tenant. */
+    std::uint64_t tenantResidentSignatures(std::uint32_t tenant) const;
+
+    /**
+     * Frame conflicts where the new fragment's tenant overwrote a
+     * fragment recorded by a *different* tenant — the cross-tenant
+     * interference the scaled-out Fig. 11 sweep tracks.
+     */
+    std::uint64_t crossTenantConflicts() const
+    {
+        return crossTenantConflicts_;
+    }
+
     /** Total signatures ever recorded. */
     std::uint64_t recordedTotal() const { return recordedTotal_; }
     /** Signatures currently resident across all frames. */
@@ -137,6 +162,8 @@ class SequenceStorage
         std::uint64_t headKey = 0;
         std::vector<StoredSignature> sigs;
         bool valid = false;
+        /** Tenant that recorded the resident fragment. */
+        std::uint32_t owner = 0;
     };
 
     std::vector<Frame> frames_;
@@ -161,6 +188,10 @@ class SequenceStorage
     std::uint64_t frameConflicts_ = 0;
     std::uint64_t pendingWriteBytes_ = 0;
     std::uint64_t pendingReadBytes_ = 0;
+
+    /** Tenant new fragments are attributed to (setTenant). */
+    std::uint32_t currentTenant_ = 0;
+    std::uint64_t crossTenantConflicts_ = 0;
 
     /** Death-test hook: lets the invariant suite corrupt state. */
     friend struct TestPeer;

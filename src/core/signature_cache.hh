@@ -87,6 +87,30 @@ class SignatureCache
      */
     const SigPayload *lookup(std::uint64_t key);
 
+    /**
+     * Partition the set-index space into @p parts equal slices for
+     * multi-tenant isolation (Section 5.5 scaled out): selectTenant()
+     * then confines every lookup and insert to one slice, so tenants
+     * cannot evict each other's windows. @p parts is clamped to a
+     * power of two no larger than the set count; 0 or 1 selects
+     * shared mode, whose set mapping is bit-identical to an
+     * unpartitioned cache (base 0, full set mask). Callable only
+     * while the cache is empty (construction-time configuration).
+     */
+    void configurePartitions(std::uint32_t parts);
+
+    /**
+     * Route subsequent lookups and inserts to the slice of @p tenant
+     * (tenants hash onto slices by their low bits when there are more
+     * tenants than slices). No-op layout in shared mode. Cold path:
+     * engines call this once per scheduling quantum, never per
+     * reference.
+     */
+    void selectTenant(std::uint32_t tenant);
+
+    /** Number of partition slices (1 = shared mode). */
+    std::uint32_t partitions() const { return partitions_; }
+
     /** Invalidate all entries pointing into @p frame (re-recording). */
     void invalidateFrame(std::uint32_t frame);
 
@@ -128,6 +152,17 @@ class SignatureCache
     std::uint32_t entries_;
     std::uint32_t assoc_;
     std::uint32_t sets_;
+    /**
+     * Tenant partitioning state (configurePartitions/selectTenant).
+     * Shared mode keeps partBase_ = 0 and partMask_ = sets_ - 1, so
+     * setOf() computes exactly the unpartitioned index; partitioned
+     * mode narrows the mask to one slice and offsets it by the
+     * selected tenant's slice base.
+     */
+    std::uint32_t partitions_ = 1;
+    std::uint32_t partSets_ = 0;  //!< sets per slice (sets_ if shared)
+    std::uint32_t partBase_ = 0;  //!< first set of the selected slice
+    std::uint32_t partMask_ = 0;  //!< set-index mask within the slice
     // Parallel arrays, indexed set * assoc + way (see file comment).
     std::vector<std::uint64_t> keys_;
     std::vector<std::uint64_t> fill_; //!< FIFO stamp; 0 = empty way
@@ -152,8 +187,12 @@ class SignatureCache
 inline std::uint32_t
 SignatureCache::setOf(std::uint64_t key) const
 {
-    // Indexed by the low-order bits of the signature (Section 5.6).
-    return static_cast<std::uint32_t>(key & (sets_ - 1));
+    // Indexed by the low-order bits of the signature (Section 5.6),
+    // confined to the selected tenant's slice when partitioned. In
+    // shared mode partBase_ is 0 and partMask_ covers every set, so
+    // this is exactly `key & (sets_ - 1)` — bit-identical to the
+    // unpartitioned cache.
+    return partBase_ + static_cast<std::uint32_t>(key & partMask_);
 }
 
 inline const SigPayload *

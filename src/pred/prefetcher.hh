@@ -98,6 +98,16 @@ class Prefetcher
     virtual void setNow(Cycle now) { (void)now; }
 
     /**
+     * Route subsequent observations to @p tenant (multi-programmed
+     * runs, Section 5.5). Predictors with tenant-aware structures
+     * (LT-cords' partitioned signature cache and per-tenant sequence
+     * storage attribution) override this; the default ignores the
+     * call, so every predictor composes with the multi-tenant engine
+     * loop. Cold path: called once per scheduling quantum.
+     */
+    virtual void selectTenant(std::uint32_t tenant) { (void)tenant; }
+
+    /**
      * Move the pending requests into @p out, replacing its contents
      * (the queue is left empty). The engines call this once per
      * reference with a reusable buffer: the two vectors swap storage,

@@ -36,7 +36,36 @@ struct MultiProgConfig
     std::uint64_t switches = 60;
     /** Address shift between consecutive applications' spaces. */
     Addr addressStride = Addr{1} << 32;
+    /**
+     * Deterministic tenant churn (the scaled-out Fig. 11 sweep): when
+     * nonzero, the schedule is drawn from an Rng seeded with this
+     * value — roughly half the tenants start live, each context
+     * switch has a 1-in-8 chance of an arrival or death and a 1-in-8
+     * chance of an out-of-order context swap, and scheduling is
+     * otherwise round-robin over the live set. Zero keeps the static
+     * round-robin interleaving (bit-identical to the historical
+     * `app = switch % n` loop).
+     */
+    std::uint64_t churnSeed = 0;
+    /**
+     * Drive both passes through the scalar per-quantum loop
+     * (selectBucket + selectTenant + run per quantum) instead of the
+     * batched TraceEngine::runSchedule. The two are pinned equivalent
+     * by the multiprog equivalence suite; the knob exists so
+     * benchmarks can measure the scalar path and tests can diff
+     * against it.
+     */
+    bool scalarQuantums = false;
 };
+
+/**
+ * Materialise the schedule @p config describes: one quantum per
+ * context switch, static round-robin or churn-driven (see churnSeed).
+ * Exposed so tests and the Fig. 11 scale bench can inspect or replay
+ * the exact interleaving runMultiProg executes.
+ */
+std::vector<TraceEngine::ScheduleQuantum>
+buildMultiProgSchedule(const MultiProgConfig &config);
 
 /**
  * Run @p apps under @p config with a shared @p pred.

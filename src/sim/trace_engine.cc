@@ -404,6 +404,247 @@ TraceEngine::runPredicted(TraceSource &src, std::uint64_t refs)
         });
 }
 
+// ------------------------------------------------- multi-tenant hot path
+//
+// The runSchedule kernels below process every quantum of a
+// multi-programmed schedule without re-entering run(): associativity
+// dispatch and baseline cursors live outside the quantum loop, and
+// each quantum's loop-owned counters reconcile into its tenant's
+// bucket exactly once. The per-reference bodies are copies of
+// runBaselineLoop/runPredictedLoop — the multiprog equivalence suite
+// pins them against the scalar quantum loop.
+//
+// LTC_HOT_BEGIN: tools/ltc_lint.py bans hash maps, the modulo
+// operator and virtual declarations between these markers.
+
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+std::uint64_t
+TraceEngine::runScheduleBaselineLoop(
+    std::span<const ScheduleQuantum> schedule)
+{
+    Cache &l1 = hier_.l1d();
+    Cache &l2 = hier_.l2();
+    Cache::BaselineCursor c1 = l1.baselineCursor();
+    Cache::BaselineCursor c2 = l2.baselineCursor();
+    const std::uint32_t line_bytes = hierConfig_.l1d.lineBytes;
+    std::uint64_t total_accesses = 0;
+    std::uint64_t total_l1 = 0;
+    std::uint64_t total_l2 = 0;
+    std::uint64_t done = 0;
+
+    for (const ScheduleQuantum &q : schedule) {
+        MultiTenantCursor &t = cursors_[q.tenant];
+        current_ = t.bucket;
+        // All tenants share the one hot pull buffer: each refill is
+        // capped at the quantum's remaining refs, so the buffer
+        // drains before the next tenant touches it (per-tenant
+        // read-ahead slices would go cold between a tenant's quanta
+        // and double the memory traffic per record).
+        MemRef *buf = batch_.data();
+        std::uint64_t accesses = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t l1_misses = 0;
+        std::uint64_t l2_misses = 0;
+        std::uint64_t remaining = q.refs;
+        while (remaining) {
+            if (t.pos == t.fill) {
+                const std::size_t want =
+                    std::min<std::uint64_t>(engineBatchRefs,
+                                            remaining);
+                const std::size_t got = t.src->fill({buf, want});
+                t.pos = 0;
+                t.fill = static_cast<std::uint32_t>(got);
+                if (got == 0)
+                    break; // end of this tenant's trace
+            }
+            const std::uint32_t chunk = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(remaining, t.fill - t.pos));
+            const std::uint32_t end = t.pos + chunk;
+            for (std::uint32_t i = t.pos; i < end; i++) {
+                const MemRef &ref = buf[i];
+                instructions += 1 + ref.nonMemGap;
+                if (!l1.accessBaseline<L1Assoc>(ref.addr, ref.op,
+                                                c1)) {
+                    l1_misses++;
+                    if (!l2.accessBaseline<L2Assoc>(ref.addr, ref.op,
+                                                    c2))
+                        l2_misses++;
+                }
+            }
+            t.pos = end;
+            accesses += chunk;
+            remaining -= chunk;
+        }
+        CoverageStats &s = buckets_[t.bucket];
+        s.accesses += accesses;
+        s.instructions += instructions;
+        s.l1Misses += l1_misses;
+        s.l2Misses += l2_misses;
+        s.traffic.add(Traffic::BaseData, l2_misses * line_bytes);
+        total_accesses += accesses;
+        total_l1 += l1_misses;
+        total_l2 += l2_misses;
+        done += accesses;
+    }
+
+    l1.commitBaseline(c1);
+    l2.commitBaseline(c2);
+    hier_.noteBaselineBatch(total_accesses, total_l1, total_l2);
+    return done;
+}
+
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+std::uint64_t
+TraceEngine::runSchedulePredictedLoop(
+    std::span<const ScheduleQuantum> schedule)
+{
+    Cache &l1 = hier_.l1d();
+    const std::uint32_t line_bytes = hierConfig_.l1d.lineBytes;
+    std::uint64_t done = 0;
+
+    for (const ScheduleQuantum &q : schedule) {
+        MultiTenantCursor &t = cursors_[q.tenant];
+        current_ = t.bucket;
+        pred_->selectTenant(q.tenant);
+        MemRef *buf = batch_.data(); // shared hot buffer, see above
+        std::uint64_t accesses = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t l1_misses = 0;
+        std::uint64_t l2_misses = 0;
+        std::uint64_t correct = 0;
+        std::uint64_t early = 0;
+        std::uint64_t base_bytes = 0;
+        std::uint64_t remaining = q.refs;
+        while (remaining) {
+            if (t.pos == t.fill) {
+                const std::size_t want =
+                    std::min<std::uint64_t>(engineBatchRefs,
+                                            remaining);
+                const std::size_t got = t.src->fill({buf, want});
+                t.pos = 0;
+                t.fill = static_cast<std::uint32_t>(got);
+                if (got == 0)
+                    break; // end of this tenant's trace
+            }
+            const std::uint32_t chunk = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(remaining, t.fill - t.pos));
+            const std::uint32_t end = t.pos + chunk;
+            for (std::uint32_t i = t.pos; i < end; i++) {
+                const MemRef &ref = buf[i];
+                instructions += 1 + ref.nonMemGap;
+
+                const HierOutcome out =
+                    hier_.access<L1Assoc, L2Assoc>(ref.addr, ref.op);
+                const Addr block = l1.blockAlign(ref.addr);
+
+                if (out.l1Hit()) {
+                    if (out.l1HitOnPrefetch) {
+                        correct++;
+                        std::uint8_t meta = out.l1Meta;
+                        if (!(meta & LineMetaFetched))
+                            meta = hier_.l2().takeMeta(block);
+                        if ((meta & LineMetaFetched) &&
+                            (meta & LineMetaOffChip)) {
+                            base_bytes += line_bytes;
+                        }
+                        bufferFeedback(ref.addr, false);
+                    }
+                } else {
+                    l1_misses++;
+                    if (l1.clearEvictedMark(block))
+                        early++;
+                    if (out.level == HitLevel::Memory) {
+                        l2_misses++;
+                        base_bytes += line_bytes;
+                    } else if (out.l2HitOnPrefetch) {
+                        if ((out.l2Meta & LineMetaFetched) &&
+                            (out.l2Meta & LineMetaOffChip)) {
+                            base_bytes += line_bytes;
+                        }
+                        bufferFeedback(ref.addr, false);
+                    }
+                }
+
+                // Same two flush points as step(): access-time events
+                // before observe(), issue-time events in
+                // drainPredictor().
+                flushFeedback();
+                pred_->observe(ref, out);
+                drainPredictor();
+            }
+            t.pos = end;
+            accesses += chunk;
+            remaining -= chunk;
+        }
+        CoverageStats &s = buckets_[t.bucket];
+        s.accesses += accesses;
+        s.instructions += instructions;
+        s.l1Misses += l1_misses;
+        s.l2Misses += l2_misses;
+        s.correct += correct;
+        s.early += early;
+        s.traffic.add(Traffic::BaseData, base_bytes);
+        done += accesses;
+    }
+    return done;
+}
+
+// LTC_HOT_END
+
+std::uint64_t
+TraceEngine::runSchedule(std::span<TenantSlot> tenants,
+                         std::span<const ScheduleQuantum> schedule)
+{
+    ltc_assert(!tenants.empty(), "schedule needs at least one tenant");
+    for (const TenantSlot &slot : tenants) {
+        ltc_assert(slot.src != nullptr, "tenant without a trace source");
+        ltc_assert(slot.bucket < buckets_.size(),
+                   "tenant bucket out of range: ", slot.bucket);
+    }
+    for (const ScheduleQuantum &q : schedule)
+        ltc_assert(q.tenant < tenants.size(), "quantum names tenant ",
+                   q.tenant, " of ", tenants.size());
+
+    // Per-tenant cursors are rebuilt each call; the shared pull
+    // buffer is the same one run() uses.
+    cursors_.assign(tenants.size(), MultiTenantCursor{});
+    for (std::size_t t = 0; t < tenants.size(); t++) {
+        cursors_[t].src = tenants[t].src;
+        cursors_[t].bucket = tenants[t].bucket;
+    }
+    if (batch_.size() < engineBatchRefs)
+        batch_.resize(engineBatchRefs);
+
+    // Mirror run()'s kernel guard: the trimmed baseline kernel only
+    // when no prefetch state can exist, the predictor kernel whenever
+    // a predictor is attached, the exact scalar path otherwise
+    // (perfect L1, hand-injected fills).
+    std::uint64_t done = 0;
+    if (pred_ == nullptr && !hierConfig_.perfectL1 &&
+        hier_.l1d().prefetchFills() == 0 &&
+        hier_.l2().prefetchFills() == 0) {
+        done = dispatchByAssociativity(
+            hier_.l1d().config().assoc, hier_.l2().config().assoc,
+            [&](auto a1, auto a2) {
+                return runScheduleBaselineLoop<a1(), a2()>(schedule);
+            });
+    } else if (pred_ != nullptr) {
+        done = dispatchByAssociativity(
+            hier_.l1d().config().assoc, hier_.l2().config().assoc,
+            [&](auto a1, auto a2) {
+                return runSchedulePredictedLoop<a1(), a2()>(schedule);
+            });
+    } else {
+        for (const ScheduleQuantum &q : schedule) {
+            selectBucket(tenants[q.tenant].bucket);
+            done += run(*tenants[q.tenant].src, q.refs);
+        }
+        return done; // run() audited per quantum already
+    }
+    maybeAudit();
+    return done;
+}
+
 std::uint64_t
 TraceEngine::run(TraceSource &src, std::uint64_t refs)
 {

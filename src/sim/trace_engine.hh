@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -131,6 +132,49 @@ class TraceEngine : public CacheListener
      */
     std::uint64_t run(TraceSource &src, std::uint64_t refs);
 
+    /** One tenant of a multi-programmed schedule (see runSchedule). */
+    struct TenantSlot
+    {
+        /** The tenant's reference stream; not owned. */
+        TraceSource *src = nullptr;
+        /** Stat bucket the tenant's events are attributed to. */
+        std::uint32_t bucket = 0;
+    };
+
+    /** One scheduling quantum: run @p tenant for @p refs references. */
+    struct ScheduleQuantum
+    {
+        std::uint32_t tenant = 0;
+        std::uint64_t refs = 0;
+    };
+
+    /**
+     * Process a whole multi-programmed schedule in one call.
+     *
+     * Semantically identical to the scalar quantum loop
+     *
+     *     for (q : schedule) {
+     *         selectBucket(tenants[q.tenant].bucket);
+     *         if (predictor()) predictor()->selectTenant(q.tenant);
+     *         run(*tenants[q.tenant].src, q.refs);
+     *     }
+     *
+     * (the multiprog equivalence suite pins this), but the
+     * associativity dispatch and the baseline cursors are hoisted
+     * outside the quantum loop: one dispatch and one cursor commit
+     * per schedule instead of one per quantum. All tenants pull
+     * through the one shared batch buffer — each refill is capped at
+     * the quantum's remaining references, so the buffer drains within
+     * the quantum and stays hot in the host cache across tenant
+     * switches (a per-tenant read-ahead slice would go cold between a
+     * tenant's quanta at Fig. 11 scale — 1024 tenants, a few hundred
+     * references per quantum — and be re-read from memory).
+     *
+     * @return References actually consumed (short on trace ends).
+     */
+    std::uint64_t runSchedule(std::span<TenantSlot> tenants,
+                              std::span<const ScheduleQuantum> schedule);
+
     /** Statistics of bucket @p bucket. */
     const CoverageStats &stats(std::uint32_t bucket = 0) const;
     /** Mutable statistics of bucket @p bucket (harness use). */
@@ -216,6 +260,29 @@ class TraceEngine : public CacheListener
     std::uint64_t runPredictedLoop(TraceSource &src,
                                    std::uint64_t refs);
 
+    /**
+     * Per-tenant pull state for runSchedule. pos/fill index the
+     * shared batch_ buffer within a quantum; refills are capped at
+     * the quantum's remaining references, so they are always equal
+     * (buffer drained) at quantum boundaries. Rebuilt per
+     * runSchedule call.
+     */
+    struct MultiTenantCursor
+    {
+        TraceSource *src = nullptr;
+        std::uint32_t bucket = 0;
+        std::uint32_t pos = 0;  //!< next unconsumed record
+        std::uint32_t fill = 0; //!< valid records in the buffer
+    };
+    /** runSchedule's baseline kernel (see runBaselineLoop). */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    std::uint64_t
+    runScheduleBaselineLoop(std::span<const ScheduleQuantum> schedule);
+    /** runSchedule's predictor kernel (see runPredictedLoop). */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    std::uint64_t
+    runSchedulePredictedLoop(std::span<const ScheduleQuantum> schedule);
+
     HierarchyConfig hierConfig_;
     CacheHierarchy hier_;
     Prefetcher *pred_;
@@ -228,7 +295,10 @@ class TraceEngine : public CacheListener
      * themselves as LineMeta* bits plus per-set eviction marks — see
      * cache/cache.hh. The engine only keeps reusable buffers.
      */
-    std::vector<MemRef> batch_;           //!< run() pull buffer
+    /** Pull buffer shared by run() and the runSchedule kernels. */
+    std::vector<MemRef> batch_;
+    /** runSchedule tenant cursors (rebuilt per call). */
+    std::vector<MultiTenantCursor> cursors_;
     std::vector<PrefetchRequest> reqBuf_; //!< predictor drain buffer
     std::vector<PrefetchFeedback> fbBuf_; //!< feedback batch buffer
     /** Listener adapter for L2 (classifies GHB-style L2 prefetches). */

@@ -123,10 +123,13 @@ PointerChaseSource::buildChain()
     // Build a single n-cycle visiting every node. Start from the
     // layout-order cycle 0 -> 1 -> ... -> n-1 -> 0 expressed as a
     // visit order, optionally shuffle the visit order (Sattolo-style
-    // partial shuffle keyed by the shuffle fraction), then derive
-    // successor links.
-    std::vector<std::uint32_t> order(n);
-    std::iota(order.begin(), order.end(), 0);
+    // partial shuffle keyed by the shuffle fraction). The visit order
+    // IS the stored representation: the simulated successor of
+    // order_[k] is order_[k+1], so deriving explicit links would only
+    // re-encode the same permutation in a form the generator would
+    // then have to chase one dependent load at a time.
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), 0);
     if (params_.shuffle > 0.0) {
         const auto shuffled =
             static_cast<std::uint32_t>(params_.shuffle * n);
@@ -135,13 +138,10 @@ PointerChaseSource::buildChain()
         for (std::uint32_t i = 0; i < shuffled; i++) {
             const auto j =
                 static_cast<std::uint32_t>(rng_.range(i, n - 1));
-            std::swap(order[i], order[j]);
+            std::swap(order_[i], order_[j]);
         }
     }
-    successor_.assign(n, 0);
-    for (std::uint32_t i = 0; i < n; i++)
-        successor_[order[i]] = order[(i + 1) % n];
-    cur_ = order[0];
+    pos_ = 0;
 }
 
 void
@@ -150,39 +150,30 @@ PointerChaseSource::mutate()
     const auto n = static_cast<std::uint32_t>(params_.nodes);
     const auto count = static_cast<std::uint64_t>(
         params_.mutateFraction * static_cast<double>(n));
-    // Relink by transposing successors of random node pairs. Swapping
-    // the successors of a and b splices the cycle differently but
-    // keeps every node reachable iff the two nodes were in the same
-    // cycle; a transposition of two elements of a single cycle always
-    // yields two cycles, and a second transposition can rejoin them.
-    // To guarantee the traversal still visits a full cycle we instead
-    // reverse random segments of the visit order, which preserves the
-    // single-cycle property.
-    std::vector<std::uint32_t> order(n);
-    std::uint32_t node = static_cast<std::uint32_t>(cur_);
-    for (std::uint32_t i = 0; i < n; i++) {
-        order[i] = node;
-        node = successor_[node];
-    }
+    // Relinking by transposing successors of random node pairs would
+    // keep every node reachable only if both nodes stay in one cycle;
+    // a transposition of two elements of a single cycle always yields
+    // two cycles. Reversing random segments of the visit order
+    // instead preserves the single-cycle property by construction.
+    // Mutation fires exactly at a wrap (pos_ == 0), where the stored
+    // order already starts at the node the traversal resumes from.
     std::uint64_t mutated = 0;
     while (mutated < count) {
         const auto lo = static_cast<std::uint32_t>(rng_.below(n));
         const auto len = static_cast<std::uint32_t>(
             rng_.range(2, std::min<std::uint64_t>(64, n)));
         const auto hi = std::min<std::uint32_t>(n - 1, lo + len);
-        std::reverse(order.begin() + lo, order.begin() + hi);
+        std::reverse(order_.begin() + lo, order_.begin() + hi);
         mutated += hi - lo;
     }
-    for (std::uint32_t i = 0; i < n; i++)
-        successor_[order[i]] = order[(i + 1) % n];
-    cur_ = order[0];
 }
 
 bool
 PointerChaseSource::next(MemRef &out)
 {
     out.pc = params_.pc + accessIdx_ * 4;
-    out.addr = nodeAddr(cur_) + wordOffset(accessIdx_, params_.nodeBytes);
+    out.addr = nodeAddr(order_[pos_]) +
+        wordOffset(accessIdx_, params_.nodeBytes);
     out.op = MemOp::Load;
     out.nonMemGap = params_.nonMemGap;
     // The first access to a node dereferences the pointer loaded from
@@ -191,9 +182,8 @@ PointerChaseSource::next(MemRef &out)
 
     if (++accessIdx_ >= params_.accessesPerNode) {
         accessIdx_ = 0;
-        cur_ = successor_[cur_];
-        if (++visited_ >= params_.nodes) {
-            visited_ = 0;
+        if (++pos_ >= params_.nodes) {
+            pos_ = 0;
             iter_++;
             if (params_.mutateEveryIters &&
                 iter_ % params_.mutateEveryIters == 0 &&
@@ -208,8 +198,43 @@ PointerChaseSource::next(MemRef &out)
 std::size_t
 PointerChaseSource::fill(std::span<MemRef> out)
 {
-    for (MemRef &ref : out)
-        next(ref);
+    // Batched generation: the common one-access-per-node case runs
+    // wrap-free inner sweeps over order_ — sequential indexed loads
+    // the hardware prefetcher covers, where the successor-link form
+    // of this source serialized one dependent (usually missing) load
+    // per simulated node. Multi-access nodes keep the scalar loop;
+    // next() already reads order_ sequentially there too.
+    if (params_.accessesPerNode != 1) {
+        for (MemRef &ref : out)
+            next(ref);
+        return out.size();
+    }
+    std::size_t n = 0;
+    while (n < out.size()) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(out.size() - n,
+                                    params_.nodes - pos_));
+        const std::uint32_t *nodes = order_.data() + pos_;
+        for (std::size_t i = 0; i < chunk; i++) {
+            MemRef &ref = out[n + i];
+            ref.pc = params_.pc;
+            ref.addr = nodeAddr(nodes[i]);
+            ref.op = MemOp::Load;
+            ref.nonMemGap = params_.nonMemGap;
+            ref.dependsOnPrev = true;
+        }
+        n += chunk;
+        pos_ += chunk;
+        if (pos_ >= params_.nodes) {
+            pos_ = 0;
+            iter_++;
+            if (params_.mutateEveryIters &&
+                iter_ % params_.mutateEveryIters == 0 &&
+                params_.mutateFraction > 0.0) {
+                mutate();
+            }
+        }
+    }
     return out.size();
 }
 
@@ -217,7 +242,6 @@ void
 PointerChaseSource::reset()
 {
     rng_.reseed(params_.seed);
-    visited_ = 0;
     accessIdx_ = 0;
     iter_ = 0;
     buildChain();

@@ -111,10 +111,16 @@ struct PointerChaseParams
 /**
  * Traverses a singly-linked list (a permutation cycle over all nodes)
  * from a fixed head, forever. Every reference is marked
- * dependsOnPrev: the next address is loaded from the current node, so
- * the baseline machine cannot overlap these misses. Optional periodic
- * mutation models data-structure updates that make recorded last-touch
- * signatures stale (Section 3.2).
+ * dependsOnPrev: the *simulated* machine loads each next address from
+ * the current node, so the baseline machine cannot overlap these
+ * misses. The generator itself, however, keeps the traversal as a
+ * precomputed visit-order array rather than successor links: emitting
+ * a batch is then a sequential, prefetch-friendly sweep of that array
+ * instead of a data-dependent pointer chase, so generating an
+ * mcf/em3d-style stream is no longer bound by one cache-miss latency
+ * per simulated node. Optional periodic mutation models
+ * data-structure updates that make recorded last-touch signatures
+ * stale (Section 3.2); mutations rewrite the visit order in place.
  */
 class PointerChaseSource final : public TraceSource
 {
@@ -139,10 +145,13 @@ class PointerChaseSource final : public TraceSource
     PointerChaseParams params_;
     std::string name_;
     Rng rng_;
-    /** successor_[i] = index of the node after node i. */
-    std::vector<std::uint32_t> successor_;
-    std::uint64_t cur_ = 0;
-    std::uint64_t visited_ = 0;
+    /**
+     * order_[k] = index of the k-th node the traversal visits; the
+     * successor of order_[k] is order_[k+1] (wrapping), so this is
+     * exactly the permutation cycle the simulated list encodes.
+     */
+    std::vector<std::uint32_t> order_;
+    std::uint64_t pos_ = 0;
     std::uint32_t accessIdx_ = 0;
     std::uint64_t iter_ = 0;
 };

@@ -28,7 +28,9 @@
 #include <string>
 #include <vector>
 
+#include "core/ltcords.hh"
 #include "sim/experiment.hh"
+#include "sim/multiprog.hh"
 #include "sim/runner.hh"
 #include "sim/timing_engine.hh"
 #include "sim/trace_engine.hh"
@@ -223,6 +225,33 @@ const TimingBaselineGolden kTimingBaselineGolden[] = {
     {"tree_walk.ltct", 73943, 16380, 4095, 3176062, 49140, 262080},
 };
 
+/**
+ * Scaled multi-programmed expectations (exact): pins the batched
+ * multi-tenant engine loop (TraceEngine::runSchedule), the
+ * churn-driven schedule generator and signature-cache partitioning
+ * end to end — aggregate opportunity/misses/coverage over all
+ * tenants plus the cross-tenant sequence-storage interference
+ * counter. Shared-mode rows double as the guarantee that the
+ * tenant plumbing leaves single-cache behaviour untouched.
+ */
+struct Fig11ScaleGolden
+{
+    std::uint32_t tenants;
+    std::uint32_t partitions; //!< 1 = shared signature cache
+    std::uint64_t churnSeed;  //!< 0 = static round-robin
+    std::uint64_t opportunity;
+    std::uint64_t l1Misses;
+    std::uint64_t correct;
+    std::uint64_t crossConflicts;
+};
+
+const Fig11ScaleGolden kFig11ScaleGolden[] = {
+    {2, 1, 0, 20090, 18837, 2619, 0},
+    {2, 2, 0, 20090, 16819, 3273, 0},
+    {8, 1, 7, 127998, 99229, 28769, 1},
+    {8, 8, 7, 127998, 109098, 18901, 2},
+};
+
 bool
 printMode()
 {
@@ -410,6 +439,62 @@ TEST(GoldenTimingEngine, BaselineMetricsMatchExactly)
         EXPECT_EQ(s.memBusBusy, g.memBusBusy);
         EXPECT_EQ(s.traffic.bytes(Traffic::BaseData), g.baseBytes);
         EXPECT_EQ(s.accesses, trace.size());
+    }
+}
+
+TEST(GoldenMultiTenant, Fig11ScaleMetricsMatchExactly)
+{
+    for (const Fig11ScaleGolden &g : kFig11ScaleGolden) {
+        SCOPED_TRACE(std::to_string(g.tenants) + " tenants, " +
+                     std::to_string(g.partitions) + " partitions");
+
+        MultiProgConfig cfg;
+        cfg.quantumRefs.assign(g.tenants, 4000);
+        cfg.switches = static_cast<std::uint64_t>(g.tenants) * 4;
+        cfg.churnSeed = g.churnSeed;
+
+        std::vector<std::unique_ptr<TraceSource>> apps;
+        for (std::uint32_t i = 0; i < g.tenants; i++) {
+            PointerChaseParams p;
+            p.nodes = 1024 + (i & 3) * 512;
+            p.seed = i + 1;
+            p.mutateEveryIters = 2;
+            p.mutateFraction = 0.05;
+            apps.push_back(std::make_unique<PointerChaseSource>(p));
+        }
+
+        LtcordsConfig lc = paperLtcords(cfg.hier, false);
+        lc.sigCachePartitions = g.partitions;
+        LtCords pred(lc);
+
+        const auto stats =
+            runMultiProg(cfg, &pred, std::move(apps));
+        std::uint64_t opportunity = 0;
+        std::uint64_t l1_misses = 0;
+        std::uint64_t correct = 0;
+        for (const CoverageStats &s : stats) {
+            opportunity += s.opportunity;
+            l1_misses += s.l1Misses;
+            correct += s.correct;
+        }
+        const std::uint64_t conflicts =
+            pred.storage().crossTenantConflicts();
+
+        if (printMode()) {
+            std::printf("    {%u, %u, %llu, %llu, %llu, %llu, "
+                        "%llu},\n",
+                        g.tenants, g.partitions,
+                        static_cast<unsigned long long>(g.churnSeed),
+                        static_cast<unsigned long long>(opportunity),
+                        static_cast<unsigned long long>(l1_misses),
+                        static_cast<unsigned long long>(correct),
+                        static_cast<unsigned long long>(conflicts));
+            continue;
+        }
+        EXPECT_EQ(opportunity, g.opportunity);
+        EXPECT_EQ(l1_misses, g.l1Misses);
+        EXPECT_EQ(correct, g.correct);
+        EXPECT_EQ(conflicts, g.crossConflicts);
     }
 }
 
