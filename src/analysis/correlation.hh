@@ -92,6 +92,7 @@ class CorrelationAnalysis : public CacheListener
     void onEviction(Addr victim_addr, Addr incoming_addr,
                     std::uint32_t set, bool by_prefetch,
                     bool victim_was_untouched_prefetch,
+                    bool victim_dirty,
                     std::uint8_t victim_meta) override;
 
   private:

@@ -23,12 +23,14 @@ void
 DeadTimeAnalysis::onEviction(Addr victim_addr, Addr incoming_addr,
                              std::uint32_t set, bool by_prefetch,
                              bool victim_was_untouched_prefetch,
+                             bool victim_dirty,
                              std::uint8_t victim_meta)
 {
     (void)incoming_addr;
     (void)set;
     (void)by_prefetch;
     (void)victim_was_untouched_prefetch;
+    (void)victim_dirty;
     (void)victim_meta;
     auto it = lastTouch_.find(victim_addr);
     if (it == lastTouch_.end())

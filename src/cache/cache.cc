@@ -17,6 +17,10 @@ Cache::Cache(const CacheConfig &config) : config_(config)
     tagFlags_.resize(config_.numLines());
     stamps_.resize(config_.numLines());
     evictMarks_.resize(config_.numSets());
+    // Weakly-reused initial prediction, per the SHiP paper; the other
+    // policies never touch the table, so it stays unallocated.
+    if (config_.policy == ReplPolicy::SHiP)
+        policyState_.shct.assign(shipShctEntries, 1);
 }
 
 CacheOutcome
@@ -145,11 +149,52 @@ Cache::auditInvariants() const
               evictions_, " evictions from ", misses_, " misses + ",
               prefetchFills_, " prefetch fills");
 
-    // Bits the tag-word layout leaves unused between the packed
-    // metadata and the tag field.
+    // Bits the tag-word layout leaves unused below the tag field
+    // (none today — the policy bits filled the gap — but the check
+    // guards future layout edits), plus the policy bits the
+    // configured plugin never sets.
     constexpr std::uint64_t reservedBits =
         ((std::uint64_t{1} << tagShift) - 1) &
-        ~(lineValid | lineDirty | linePrefetched | lineMetaMask);
+        ~(lineValid | lineDirty | linePrefetched | lineMetaMask |
+          linePolicyMask);
+    std::uint64_t forbidden = reservedBits;
+    switch (config_.policy) {
+      case ReplPolicy::LRU:
+      case ReplPolicy::FIFO:
+      case ReplPolicy::Random:
+        forbidden |= linePolicyMask; // stamp policies: all bits idle
+        break;
+      case ReplPolicy::RRIP:
+      case ReplPolicy::DRRIP:
+        forbidden |= lineAuxBit; // RRPV only
+        break;
+      case ReplPolicy::SHiP:
+        break; // RRPV + outcome bit both live
+      case ReplPolicy::DeadBlock:
+        forbidden |= lineRrpvMask; // dead mark only
+        break;
+    }
+
+    // Policy table state matches the configured plugin.
+    if (config_.policy == ReplPolicy::SHiP) {
+        LTC_CHECK(policyState_.shct.size() == shipShctEntries,
+                  "SHiP signature table holds ",
+                  policyState_.shct.size(), " of ", shipShctEntries,
+                  " counters");
+        for (std::size_t i = 0; i < policyState_.shct.size(); i++) {
+            LTC_CHECK(policyState_.shct[i] <= 3, "SHiP counter ", i,
+                      " holds ", policyState_.shct[i],
+                      ", above the 2-bit ceiling");
+        }
+    } else {
+        LTC_CHECK(policyState_.shct.empty(),
+                  "SHiP signature table allocated under policy ",
+                  replPolicyName(config_.policy));
+    }
+    LTC_CHECK(policyState_.psel <= 1023, "DRRIP PSEL ",
+              policyState_.psel, " above the 10-bit ceiling");
+    LTC_CHECK(policyState_.bipCtr <= 31, "BRRIP epsilon counter ",
+              policyState_.bipCtr, " above its 1-in-32 period");
 
     for (std::uint32_t set = 0; set < config_.numSets(); set++) {
         const std::size_t base =
@@ -163,8 +208,9 @@ Cache::auditInvariants() const
                           w, ": invalid line carries a stamp");
                 continue;
             }
-            LTC_CHECK((tf & reservedBits) == 0, "set ", set, " way ",
-                      w, ": reserved tag-word bits set");
+            LTC_CHECK((tf & forbidden) == 0, "set ", set, " way ",
+                      w, ": reserved or foreign-policy tag-word "
+                      "bits set");
             LTC_CHECK(stamps_[base + w] <= stamp_, "set ", set,
                       " way ", w, ": stamp ", stamps_[base + w],
                       " ahead of global counter ", stamp_);
@@ -206,6 +252,33 @@ Cache::isUntouchedPrefetch(Addr addr) const
 {
     const std::size_t idx = findIndex(addr);
     return idx != noWay && (tagFlags_[idx] & linePrefetched);
+}
+
+bool
+Cache::setDirty(Addr addr)
+{
+    const std::size_t idx = findIndex(addr);
+    if (idx == noWay)
+        return false;
+    tagFlags_[idx] |= lineDirty;
+    return true;
+}
+
+bool
+Cache::markDead(Addr addr)
+{
+    const std::size_t idx = findIndex(addr);
+    if (idx == noWay)
+        return false;
+    tagFlags_[idx] |= lineAuxBit;
+    return true;
+}
+
+bool
+Cache::isDead(Addr addr) const
+{
+    const std::size_t idx = findIndex(addr);
+    return idx != noWay && (tagFlags_[idx] & lineAuxBit);
 }
 
 } // namespace ltc

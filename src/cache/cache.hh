@@ -14,9 +14,11 @@
 #define LTC_CACHE_CACHE_HH
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "cache/cache_config.hh"
+#include "cache/repl_policy.hh"
 #include "cache/set_scan.hh"
 #include "util/random.hh"
 #include "util/types.hh"
@@ -57,12 +59,16 @@ class CacheListener
      * @param victim_was_untouched_prefetch True when the victim had
      *        been prefetched and never referenced by demand (a
      *        useless prefetch).
+     * @param victim_dirty  True when the victim line was dirty (a
+     *        store had touched it since the fill): the eviction owes
+     *        the next level a writeback.
      * @param victim_meta   The victim line's engine-owned metadata
      *        bits (LineMeta*) at eviction time.
      */
     virtual void onEviction(Addr victim_addr, Addr incoming_addr,
                             std::uint32_t set, bool by_prefetch,
                             bool victim_was_untouched_prefetch,
+                            bool victim_dirty,
                             std::uint8_t victim_meta) = 0;
 };
 
@@ -74,6 +80,8 @@ struct CacheOutcome
     bool hitUntouchedPrefetch = false;
     /** A valid block was evicted by this access. */
     bool evicted = false;
+    /** The evicted block was dirty (writeback owed), if evicted. */
+    bool victimDirty = false;
     /** Block-aligned address of the evicted block (if evicted). */
     Addr victimAddr = invalidAddr;
     /** Set index touched by the access. */
@@ -115,8 +123,15 @@ class Cache
      *         unrolls the way scans (the same contract as
      *         accessBaseline); callers must pass either 0 or exactly
      *         config().assoc.
+     * @tparam Policy Replacement-policy plugin (cache/repl_policy.hh),
+     *         or PolicyAuto (the default) to dispatch on the
+     *         configured policy per call. The engines' batched
+     *         kernels instantiate the concrete policy alongside
+     *         StaticAssoc so the whole decision chain devirtualizes;
+     *         callers must pass either PolicyAuto or the policy
+     *         matching config().policy.
      */
-    template <std::uint32_t StaticAssoc = 0>
+    template <std::uint32_t StaticAssoc = 0, typename Policy = PolicyAuto>
     CacheOutcome access(Addr addr, MemOp op);
 
     /**
@@ -171,8 +186,11 @@ class Cache
      * demand evictions — under those, skipping the outcome struct and
      * the listener call is behaviour-identical, and the batch/scalar
      * equivalence tests pin it.
+     *
+     * @tparam Policy PolicyAuto or the policy matching
+     *         config().policy, as for access().
      */
-    template <std::uint32_t StaticAssoc = 0>
+    template <std::uint32_t StaticAssoc = 0, typename Policy = PolicyAuto>
     bool accessBaseline(Addr addr, MemOp op, BaselineCursor &cur);
 
     /**
@@ -207,6 +225,30 @@ class Cache
     /** True if the block was brought in by a prefetch and not yet
      *  referenced by demand. */
     bool isUntouchedPrefetch(Addr addr) const;
+
+    /**
+     * Set the dirty bit of @p addr's line (an inclusive outer level
+     * absorbing a dirty victim writeback from the level above).
+     * No-op when the block is not resident; returns whether it was.
+     */
+    bool setDirty(Addr addr);
+
+    /**
+     * Mark @p addr's line as predicted dead. Only meaningful under
+     * ReplPolicy::DeadBlock, whose victim selection prefers marked
+     * ways (the engines feed it the predictor's last-touch victim
+     * predictions); a later demand touch clears the mark. No-op when
+     * the block is not resident; returns whether it was.
+     */
+    bool markDead(Addr addr);
+
+    /**
+     * Whether @p addr is resident and still carries a dead mark (a
+     * demand touch since markDead clears it). The engines use this
+     * to gate directed prefetch replacement under DeadBlock: a
+     * revived block is spared and the policy picks the victim.
+     */
+    bool isDead(Addr addr) const;
 
     /**
      * Overwrite the engine-owned metadata bits of @p addr's line.
@@ -294,26 +336,16 @@ class Cache
 
   private:
     // Packed tag word: (block number & tagMask) << tagShift, OR'd
-    // with the status bits below; 0 = invalid. Block numbers use the
-    // top 58 bits, which is lossless for every line size >= 64B (and
-    // aliases only past 2^58 blocks otherwise). Tag words and
-    // replacement stamps live in parallel row-major arrays
+    // with the status bits; 0 = invalid. The layout constants
+    // (lineValid .. tagSelect) live at namespace scope in
+    // cache/repl_policy.hh, shared with the replacement-policy
+    // plugins whose per-line state rides in the policy bits. Tag
+    // words and replacement stamps live in parallel row-major arrays
     // (structure-of-arrays): a whole 8-way set's tags span a single
     // host cache line, so the lookup scan of the simulation hot path
     // touches minimal memory, and the stamps are only read by victim
     // selection (LRU last-use, updated on hit; FIFO fill stamp,
     // written at insert — the policies never need both at once).
-    static constexpr std::uint64_t lineValid = 0x01;
-    static constexpr std::uint64_t lineDirty = 0x02;
-    static constexpr std::uint64_t linePrefetched = 0x04;
-    static constexpr unsigned lineMetaShift = 3; //!< 2 LineMeta* bits
-    static constexpr std::uint64_t lineMetaMask = 0x3u << lineMetaShift;
-    static constexpr unsigned tagShift = 6;
-    static constexpr std::uint64_t tagMask =
-        (std::uint64_t{1} << (64 - tagShift)) - 1;
-    /** Bits compared by the lookup scans: tag + valid, status masked. */
-    static constexpr std::uint64_t tagSelect =
-        ~(lineDirty | linePrefetched | lineMetaMask);
 
     /** Block number of @p addr, masked to the packed tag width. */
     std::uint64_t
@@ -350,9 +382,11 @@ class Cache
     template <std::uint32_t StaticAssoc = 0>
     std::size_t matchWay(const std::uint64_t *tags,
                          std::uint64_t want) const;
-    /** @tparam StaticAssoc 0 or exactly config().assoc (see access). */
-    template <std::uint32_t StaticAssoc = 0>
+    /** @tparam StaticAssoc 0 or exactly config().assoc (see access).
+     *  @tparam Policy PolicyAuto or the configured policy's plugin. */
+    template <std::uint32_t StaticAssoc = 0, typename Policy = PolicyAuto>
     std::uint32_t victimWay(std::uint32_t set);
+    template <typename Policy = PolicyAuto>
     CacheOutcome insert(std::uint64_t tag, std::uint32_t set,
                         std::uint32_t way, bool by_prefetch,
                         bool mark_prefetched, bool dirty);
@@ -371,6 +405,8 @@ class Cache
     std::vector<std::vector<Addr>> evictMarks_;
     std::uint64_t stamp_ = 0;
     Rng rng_{12345};
+    /** Table state for the policies that need it (DRRIP, SHiP). */
+    PolicyState policyState_;
     CacheListener *listener_ = nullptr;
 
     std::uint64_t accesses_ = 0;
@@ -425,161 +461,190 @@ Cache::findIndex(Addr addr) const
     return way == noWay ? noWay : base + way;
 }
 
-template <std::uint32_t StaticAssoc>
+template <std::uint32_t StaticAssoc, typename Policy>
 inline std::uint32_t
 Cache::victimWay(std::uint32_t set)
 {
-    const std::uint32_t assoc =
-        StaticAssoc ? StaticAssoc : config_.assoc;
-    const std::size_t base = static_cast<std::size_t>(set) * assoc;
-    // Prefer an invalid way: the lowest one, matching the scalar
-    // first-invalid scan.
-    if constexpr (StaticAssoc != 0) {
-        const std::uint32_t inv = maskedEqBits<StaticAssoc>(
-            tagFlags_.data() + base, lineValid, 0);
-        if (inv)
-            return firstWay(inv);
+    if constexpr (std::is_same_v<Policy, PolicyAuto>) {
+        return withPolicy(config_.policy, [&](auto pol) {
+            return victimWay<StaticAssoc, decltype(pol)>(set);
+        });
     } else {
-        for (std::uint32_t w = 0; w < assoc; w++) {
-            if (!(tagFlags_[base + w] & lineValid))
-                return w;
+        const std::uint32_t assoc =
+            StaticAssoc ? StaticAssoc : config_.assoc;
+        const std::size_t base = static_cast<std::size_t>(set) * assoc;
+        // Prefer an invalid way: the lowest one, matching the scalar
+        // first-invalid scan. Only all-valid sets consult the policy.
+        if constexpr (StaticAssoc != 0) {
+            const std::uint32_t inv = maskedEqBits<StaticAssoc>(
+                tagFlags_.data() + base, lineValid, 0);
+            if (inv)
+                return firstWay(inv);
+        } else {
+            for (std::uint32_t w = 0; w < assoc; w++) {
+                if (!(tagFlags_[base + w] & lineValid))
+                    return w;
+            }
         }
+        return Policy::template victim<StaticAssoc>(
+            tagFlags_.data() + base, stamps_.data() + base, assoc, set,
+            rng_, policyState_);
     }
-    if (config_.policy == ReplPolicy::Random)
-        return static_cast<std::uint32_t>(rng_.below(assoc));
-    // LRU and FIFO both evict the minimum stamp; they differ only in
-    // when the stamp is written (every use vs fill only). The strict
-    // compare keeps the lowest way among stamp ties, and the fixed
-    // trip count lets the compiler unroll (the scan only runs on
-    // conflict misses, so it stays scalar rather than SIMD).
-    std::uint32_t victim = 0;
-    for (std::uint32_t w = 1; w < assoc; w++) {
-        if (stamps_[base + w] < stamps_[base + victim])
-            victim = w;
-    }
-    return victim;
 }
 
+template <typename Policy>
 inline CacheOutcome
 Cache::insert(std::uint64_t tag, std::uint32_t set, std::uint32_t way,
               bool by_prefetch, bool mark_prefetched, bool dirty)
 {
-    const std::size_t idx =
-        static_cast<std::size_t>(set) * config_.assoc + way;
-    const std::uint64_t old = tagFlags_[idx];
+    if constexpr (std::is_same_v<Policy, PolicyAuto>) {
+        return withPolicy(config_.policy, [&](auto pol) {
+            return insert<decltype(pol)>(tag, set, way, by_prefetch,
+                                         mark_prefetched, dirty);
+        });
+    } else {
+        const std::size_t idx =
+            static_cast<std::size_t>(set) * config_.assoc + way;
+        const std::uint64_t old = tagFlags_[idx];
 
-    CacheOutcome out;
-    out.set = set;
-    if (old & lineValid) {
-        out.evicted = true;
-        out.victimAddr = lineAddr(old);
-        evictions_++;
-        if (listener_) {
-            listener_->onEviction(
-                out.victimAddr, (tag << lineBits_), set, by_prefetch,
-                (old & linePrefetched) != 0, lineMeta(old));
+        CacheOutcome out;
+        out.set = set;
+        if (old & lineValid) {
+            out.evicted = true;
+            out.victimDirty = (old & lineDirty) != 0;
+            out.victimAddr = lineAddr(old);
+            evictions_++;
+            Policy::onEvict(old, policyState_);
+            if (listener_) {
+                listener_->onEviction(
+                    out.victimAddr, (tag << lineBits_), set,
+                    by_prefetch, (old & linePrefetched) != 0,
+                    out.victimDirty, lineMeta(old));
+            }
         }
+        tagFlags_[idx] = (tag << tagShift) | lineValid |
+            (dirty ? lineDirty : 0) |
+            (mark_prefetched ? linePrefetched : 0) |
+            Policy::insertBits(tag, set, policyState_);
+        stamps_[idx] = ++stamp_;
+        return out;
     }
-    tagFlags_[idx] = (tag << tagShift) | lineValid |
-        (dirty ? lineDirty : 0) |
-        (mark_prefetched ? linePrefetched : 0);
-    stamps_[idx] = ++stamp_;
-    return out;
 }
 
-template <std::uint32_t StaticAssoc>
+template <std::uint32_t StaticAssoc, typename Policy>
 inline CacheOutcome
 Cache::access(Addr addr, MemOp op)
 {
-    accesses_++;
-    const std::uint32_t assoc =
-        StaticAssoc ? StaticAssoc : config_.assoc;
-    const std::uint64_t tag = tagOf(addr);
-    const std::uint32_t set =
-        static_cast<std::uint32_t>((addr >> lineBits_) & setMask_);
-    const std::uint64_t want = (tag << tagShift) | lineValid;
-    const std::size_t base = static_cast<std::size_t>(set) * assoc;
+    if constexpr (std::is_same_v<Policy, PolicyAuto>) {
+        return withPolicy(config_.policy, [&](auto pol) {
+            return access<StaticAssoc, decltype(pol)>(addr, op);
+        });
+    } else {
+        accesses_++;
+        const std::uint32_t assoc =
+            StaticAssoc ? StaticAssoc : config_.assoc;
+        const std::uint64_t tag = tagOf(addr);
+        const std::uint32_t set =
+            static_cast<std::uint32_t>((addr >> lineBits_) & setMask_);
+        const std::uint64_t want = (tag << tagShift) | lineValid;
+        const std::size_t base = static_cast<std::size_t>(set) * assoc;
 
-    const std::size_t w = matchWay<StaticAssoc>(tagFlags_.data() + base,
-                                                want);
-    if (w != noWay) {
-        const std::uint64_t tf = tagFlags_[base + w];
-        CacheOutcome out;
-        out.hit = true;
-        out.hitUntouchedPrefetch = (tf & linePrefetched) != 0;
-        out.set = set;
-        out.meta = lineMeta(tf);
-        // The demand touch consumes the prefetched/metadata state.
-        std::uint64_t cleared = tf & ~(linePrefetched | lineMetaMask);
-        if (op == MemOp::Store)
-            cleared |= lineDirty;
-        tagFlags_[base + w] = cleared;
-        if (config_.policy == ReplPolicy::LRU)
-            stamps_[base + w] = ++stamp_;
-        return out;
+        const std::size_t w =
+            matchWay<StaticAssoc>(tagFlags_.data() + base, want);
+        if (w != noWay) {
+            const std::uint64_t tf = tagFlags_[base + w];
+            CacheOutcome out;
+            out.hit = true;
+            out.hitUntouchedPrefetch = (tf & linePrefetched) != 0;
+            out.set = set;
+            out.meta = lineMeta(tf);
+            // The demand touch consumes the prefetched/metadata
+            // state; the policy then transforms its own bits (RRPV
+            // promotion, outcome/dead marks).
+            std::uint64_t cleared =
+                tf & ~(linePrefetched | lineMetaMask);
+            if (op == MemOp::Store)
+                cleared |= lineDirty;
+            tagFlags_[base + w] = Policy::onHit(cleared, policyState_);
+            Policy::touch(stamps_.data() + base, w, stamp_);
+            return out;
+        }
+
+        misses_++;
+        return insert<Policy>(tag, set,
+                              victimWay<StaticAssoc, Policy>(set),
+                              false, false, op == MemOp::Store);
     }
-
-    misses_++;
-    return insert(tag, set, victimWay<StaticAssoc>(set), false, false,
-                  op == MemOp::Store);
 }
 
-template <std::uint32_t StaticAssoc>
+template <std::uint32_t StaticAssoc, typename Policy>
 inline bool
 Cache::accessBaseline(Addr addr, MemOp op, BaselineCursor &cur)
 {
-    cur.accesses++;
-    const std::uint32_t assoc =
-        StaticAssoc ? StaticAssoc : config_.assoc;
-    const ReplPolicy policy = config_.policy;
-    const std::uint64_t bn = addr >> lineBits_;
-    const std::uint64_t want = ((bn & tagMask) << tagShift) | lineValid;
-    const std::uint32_t set = static_cast<std::uint32_t>(bn & setMask_);
-    std::uint64_t *tags =
-        tagFlags_.data() + static_cast<std::size_t>(set) * assoc;
-    std::uint64_t *stamps =
-        stamps_.data() + static_cast<std::size_t>(set) * assoc;
-
-    // One fused compare per way: tag + valid, status bits masked.
-    const std::size_t hit = matchWay<StaticAssoc>(tags, want);
-    if (hit != noWay) {
-        if (op == MemOp::Store)
-            tags[hit] |= lineDirty;
-        if (policy == ReplPolicy::LRU)
-            stamps[hit] = ++cur.stamp;
-        return true;
-    }
-
-    cur.misses++;
-    std::uint32_t way = assoc;
-    if constexpr (StaticAssoc != 0) {
-        const std::uint32_t inv =
-            maskedEqBits<StaticAssoc>(tags, lineValid, 0);
-        if (inv)
-            way = firstWay(inv);
+    if constexpr (std::is_same_v<Policy, PolicyAuto>) {
+        return withPolicy(config_.policy, [&](auto pol) {
+            return accessBaseline<StaticAssoc, decltype(pol)>(addr, op,
+                                                              cur);
+        });
     } else {
-        for (std::uint32_t w = 0; w < assoc; w++) {
-            if (!(tags[w] & lineValid)) {
-                way = w;
-                break;
+        cur.accesses++;
+        const std::uint32_t assoc =
+            StaticAssoc ? StaticAssoc : config_.assoc;
+        const std::uint64_t bn = addr >> lineBits_;
+        const std::uint64_t want =
+            ((bn & tagMask) << tagShift) | lineValid;
+        const std::uint32_t set =
+            static_cast<std::uint32_t>(bn & setMask_);
+        std::uint64_t *tags =
+            tagFlags_.data() + static_cast<std::size_t>(set) * assoc;
+        std::uint64_t *stamps =
+            stamps_.data() + static_cast<std::size_t>(set) * assoc;
+
+        // One fused compare per way: tag + valid, status bits masked.
+        const std::size_t hit = matchWay<StaticAssoc>(tags, want);
+        if (hit != noWay) {
+            if constexpr (Policy::rewritesOnHit) {
+                std::uint64_t word = tags[hit];
+                if (op == MemOp::Store)
+                    word |= lineDirty;
+                tags[hit] = Policy::onHit(word, policyState_);
+            } else {
+                // The policy leaves the word alone: skip the store
+                // unless the dirty bit changes (keeps the trimmed
+                // kernel's hit path load-only for loads).
+                if (op == MemOp::Store)
+                    tags[hit] |= lineDirty;
             }
+            Policy::touch(stamps, hit, cur.stamp);
+            return true;
         }
-    }
-    if (way == assoc) {
-        cur.evictions++; // every way valid: the victim is live
-        if (policy == ReplPolicy::Random) {
-            way = static_cast<std::uint32_t>(rng_.below(assoc));
+
+        cur.misses++;
+        std::uint32_t way = assoc;
+        if constexpr (StaticAssoc != 0) {
+            const std::uint32_t inv =
+                maskedEqBits<StaticAssoc>(tags, lineValid, 0);
+            if (inv)
+                way = firstWay(inv);
         } else {
-            way = 0;
-            for (std::uint32_t w = 1; w < assoc; w++) {
-                if (stamps[w] < stamps[way])
+            for (std::uint32_t w = 0; w < assoc; w++) {
+                if (!(tags[w] & lineValid)) {
                     way = w;
+                    break;
+                }
             }
         }
+        if (way == assoc) {
+            cur.evictions++; // every way valid: the victim is live
+            way = Policy::template victim<StaticAssoc>(
+                tags, stamps, assoc, set, rng_, policyState_);
+            Policy::onEvict(tags[way], policyState_);
+        }
+        tags[way] = want | (op == MemOp::Store ? lineDirty : 0) |
+            Policy::insertBits(bn & tagMask, set, policyState_);
+        stamps[way] = ++cur.stamp;
+        return false;
     }
-    tags[way] = want | (op == MemOp::Store ? lineDirty : 0);
-    stamps[way] = ++cur.stamp;
-    return false;
 }
 
 // LTC_HOT_END

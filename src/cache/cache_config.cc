@@ -16,6 +16,14 @@ replPolicyName(ReplPolicy policy)
         return "FIFO";
       case ReplPolicy::Random:
         return "Random";
+      case ReplPolicy::RRIP:
+        return "RRIP";
+      case ReplPolicy::DRRIP:
+        return "DRRIP";
+      case ReplPolicy::SHiP:
+        return "SHiP";
+      case ReplPolicy::DeadBlock:
+        return "DeadBlock";
     }
     return "?";
 }

@@ -14,15 +14,34 @@
 namespace ltc
 {
 
-/** Replacement policy selector for a cache instance. */
+/**
+ * Replacement policy selector for a cache instance. Each enumerator
+ * has a compile-time plugin counterpart in cache/repl_policy.hh; the
+ * engines devirtualize on it alongside the static associativity.
+ */
 enum class ReplPolicy
 {
     LRU,
     FIFO,
     Random,
+    /** SRRIP: static re-reference interval prediction. */
+    RRIP,
+    /** DRRIP: set-dueling between SRRIP and BRRIP insertion. */
+    DRRIP,
+    /** SHiP-lite: signature-trained insertion over RRIP. */
+    SHiP,
+    /** LRU preferring blocks the predictor marked dead. */
+    DeadBlock,
 };
 
 const char *replPolicyName(ReplPolicy policy);
+
+/** All selectable policies, in enum order (sweep helper). */
+inline constexpr ReplPolicy allReplPolicies[] = {
+    ReplPolicy::LRU,    ReplPolicy::FIFO,  ReplPolicy::Random,
+    ReplPolicy::RRIP,   ReplPolicy::DRRIP, ReplPolicy::SHiP,
+    ReplPolicy::DeadBlock,
+};
 
 /** Geometry and access latency for one cache level. */
 struct CacheConfig

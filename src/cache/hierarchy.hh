@@ -58,6 +58,28 @@ dispatchByAssociativity(std::uint32_t l1_assoc, std::uint32_t l2_assoc,
                               integral_constant<std::uint32_t, 0>{});
 }
 
+/**
+ * The full static dispatch for a batched engine kernel: associativity
+ * pair (dispatchByAssociativity) × replacement policy
+ * (dispatchReplPolicy, cache/repl_policy.hh). Invokes @p f with two
+ * std::integral_constant associativities and a policy tag — concrete
+ * when both levels share one policy, PolicyAuto otherwise — so a
+ * kernel instantiated through here devirtualizes the whole
+ * per-reference decision chain.
+ */
+template <typename F>
+auto
+dispatchHierarchyKernel(const CacheConfig &l1, const CacheConfig &l2,
+                        F &&f)
+{
+    return dispatchByAssociativity(
+        l1.assoc, l2.assoc, [&](auto a1, auto a2) {
+            return dispatchReplPolicy(
+                l1.policy, l2.policy,
+                [&](auto pol) { return f(a1, a2, pol); });
+        });
+}
+
 /** Configuration for the two-level hierarchy. */
 struct HierarchyConfig
 {
@@ -68,6 +90,15 @@ struct HierarchyConfig
      * configuration in Table 3).
      */
     bool perfectL1 = false;
+    /**
+     * Model writeback traffic: dirty victims propagate to the next
+     * level (L1 -> L2 via Cache::setDirty, L2 -> memory as Writeback
+     * bus bytes). Off by default — the committed goldens predate the
+     * dirty-bit fix, and the paper's Figure 12 decomposition counts
+     * fetch traffic only — and routed through the engines' scalar
+     * paths when on.
+     */
+    bool modelWritebacks = false;
 };
 
 /** Where a demand access was satisfied. */
@@ -126,8 +157,14 @@ class CacheHierarchy
      *         configurations. The engines' batched kernels dispatch
      *         to matching non-zero instantiations (the same contract
      *         as Cache::access / Cache::accessBaseline).
+     * @tparam Policy Replacement-policy plugin shared by both levels,
+     *         or PolicyAuto (the default) for per-call dispatch; the
+     *         engines obtain a concrete tag via
+     *         dispatchHierarchyKernel only when the two levels'
+     *         configured policies agree.
      */
-    template <std::uint32_t L1Assoc = 0, std::uint32_t L2Assoc = 0>
+    template <std::uint32_t L1Assoc = 0, std::uint32_t L2Assoc = 0,
+              typename Policy = PolicyAuto>
     HierOutcome access(Addr addr, MemOp op);
 
     /**
@@ -172,7 +209,7 @@ class CacheHierarchy
     std::uint64_t l2Misses_ = 0;
 };
 
-template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc, typename Policy>
 inline HierOutcome
 CacheHierarchy::access(Addr addr, MemOp op)
 {
@@ -184,7 +221,7 @@ CacheHierarchy::access(Addr addr, MemOp op)
         return out;
     }
 
-    const CacheOutcome l1 = l1d_.access<L1Assoc>(addr, op);
+    const CacheOutcome l1 = l1d_.access<L1Assoc, Policy>(addr, op);
     out.l1Set = l1.set;
     if (l1.hit) {
         out.level = HitLevel::L1;
@@ -197,7 +234,7 @@ CacheHierarchy::access(Addr addr, MemOp op)
     out.l1VictimAddr = l1.victimAddr;
     l1Misses_++;
 
-    const CacheOutcome l2 = l2_.access<L2Assoc>(addr, op);
+    const CacheOutcome l2 = l2_.access<L2Assoc, Policy>(addr, op);
     if (l2.hit) {
         out.level = HitLevel::L2;
         out.l2HitOnPrefetch = l2.hitUntouchedPrefetch;

@@ -15,6 +15,8 @@ trafficName(Traffic traffic)
         return "sequence-creation";
       case Traffic::SequenceFetch:
         return "sequence-fetch";
+      case Traffic::Writeback:
+        return "writeback";
       case Traffic::NumClasses:
         break;
     }

@@ -7,7 +7,10 @@
  * (extraneous block transfers from mispredicted replacements),
  * sequence creation (writing signature sequences + confidence
  * updates) and sequence fetch (streaming signatures back on chip).
- * This accountant is shared by the trace and cycle engines.
+ * This accountant is shared by the trace and cycle engines. A fifth
+ * class, writebacks of dirty victims, sits outside the paper's
+ * decomposition and only accrues under the modelWritebacks knob
+ * (cache/hierarchy.hh).
  */
 
 #ifndef LTC_MEM_BANDWIDTH_HH
@@ -28,6 +31,7 @@ enum class Traffic : unsigned
     IncorrectPrefetch, //!< blocks fetched due to mispredictions
     SequenceCreate,    //!< signature sequence writes + confidence upd.
     SequenceFetch,     //!< signature streaming reads
+    Writeback,         //!< dirty victims (modelWritebacks only)
     NumClasses,
 };
 

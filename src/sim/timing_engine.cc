@@ -7,6 +7,45 @@
 namespace ltc
 {
 
+/**
+ * L2 eviction listener: a dirty L2 victim leaves the chip. Charged as
+ * Writeback traffic and as occupancy on the shared memory data
+ * channel at the cycle of the eviction-causing event (wbNow_), so
+ * writebacks contend with demand fills the way they would in
+ * hardware. Dirtiness and untouched-prefetch state can coexist at L2
+ * (an L1 writeback can land on a still-untouched prefetched L2 copy),
+ * but the untouched-prefetch classification of L2 victims is the
+ * trace engine's concern — the timing engine tracks prefetch
+ * usefulness through L1 evictions and the in-flight table only.
+ */
+class TimingSim::L2WritebackListener : public CacheListener
+{
+  public:
+    explicit L2WritebackListener(TimingSim &owner) : owner_(owner) {}
+
+    void
+    onEviction(Addr victim_addr, Addr incoming_addr,
+               std::uint32_t set, bool by_prefetch,
+               bool victim_was_untouched_prefetch,
+               bool victim_dirty, std::uint8_t victim_meta) override
+    {
+        (void)victim_addr;
+        (void)incoming_addr;
+        (void)set;
+        (void)by_prefetch;
+        (void)victim_was_untouched_prefetch;
+        (void)victim_meta;
+        if (!victim_dirty)
+            return;
+        const std::uint32_t line = owner_.config_.hier.l2.lineBytes;
+        owner_.running_.traffic.add(Traffic::Writeback, line);
+        owner_.memData_.transfer(owner_.wbNow_, line);
+    }
+
+  private:
+    TimingSim &owner_;
+};
+
 TimingSim::TimingSim(const TimingConfig &config, Prefetcher *pred)
     : config_(config), core_(config.core), hier_(config.hier),
       mshrs_(config.core.l1dMshrs), l1l2Req_(config.l1l2Bus),
@@ -21,22 +60,41 @@ TimingSim::TimingSim(const TimingConfig &config, Prefetcher *pred)
     memLineOcc_ = config_.memBus.occupancy(line);
     dramLineLat_ = dram_.latency(line);
     hier_.l1d().setListener(this);
+    if (config_.hier.modelWritebacks) {
+        // Only attached when writebacks are modelled, so the default
+        // configuration keeps its listener-free L2 insert path.
+        l2Writeback_ = std::make_unique<L2WritebackListener>(*this);
+        hier_.l2().setListener(l2Writeback_.get());
+    }
 }
 
 TimingSim::~TimingSim()
 {
     hier_.l1d().setListener(nullptr);
+    hier_.l2().setListener(nullptr);
 }
 
 void
 TimingSim::onEviction(Addr victim_addr, Addr incoming_addr,
                       std::uint32_t set, bool by_prefetch,
                       bool victim_was_untouched_prefetch,
+                      bool victim_dirty,
                       std::uint8_t victim_meta)
 {
     (void)incoming_addr;
     (void)set;
     (void)by_prefetch;
+    if (victim_dirty && config_.hier.modelWritebacks) {
+        // A dirty L1 victim writes back over the L1/L2 data channel;
+        // it only continues off chip when L2 no longer holds the
+        // block (no allocation on writeback: the block just left).
+        const std::uint32_t line = config_.hier.l1d.lineBytes;
+        l1l2Data_.transfer(wbNow_, line);
+        if (!hier_.l2().setDirty(victim_addr)) {
+            running_.traffic.add(Traffic::Writeback, line);
+            memData_.transfer(wbNow_, line);
+        }
+    }
     if (!victim_was_untouched_prefetch)
         return;
     running_.useless++;
@@ -92,6 +150,20 @@ TimingSim::missCompletion(Addr block, HitLevel level, Cycle ready)
 void
 TimingSim::enqueuePrefetch(const PrefetchRequest &req, Cycle now)
 {
+    // Dead-block-aware replacement consumes the predictor's last-touch
+    // prediction at enqueue time — the moment the prediction is made —
+    // shared by the scalar and batched paths (both reach here through
+    // stepImpl), so the two cannot diverge.
+    if (req.predictedVictim != invalidAddr) {
+        if (config_.hier.l1d.policy == ReplPolicy::DeadBlock)
+            hier_.l1d().markDead(req.predictedVictim);
+        // A last touch is program-wide: the L2 copy of the victim is
+        // just as dead. The L2 mark is the one with real leverage —
+        // L2 recency only updates on L1 misses, so its LRU order
+        // diverges from death order far more than the L1's.
+        if (config_.hier.l2.policy == ReplPolicy::DeadBlock)
+            hier_.l2().markDead(req.predictedVictim);
+    }
     // Duplicate filter: requests whose block is already resident (or
     // already in flight) would waste request-queue slots and issue
     // bandwidth; real prefetchers filter them against the tag array.
@@ -154,6 +226,8 @@ TimingSim::drainPrefetchQueue(Cycle now)
 void
 TimingSim::issuePrefetch(const PrefetchRequest &req, Cycle now)
 {
+    if (config_.hier.modelWritebacks)
+        wbNow_ = now; // prefetch fills can evict dirty lines
     const Addr block = hier_.l1d().blockAlign(req.target);
 
     if (req.intoL1) {
@@ -185,8 +259,16 @@ TimingSim::issuePrefetch(const PrefetchRequest &req, Cycle now)
     if (req.intoL1) {
         const Cycle complete = l1l2Data_.transferPrecomputed(
             data_ready, line, l1l2LineOcc_);
-        const PrefetchOutcome out =
-            hier_.prefetch(req.target, req.predictedVictim);
+        // Under DeadBlock the directed replacement is gated on the
+        // dead mark surviving the enqueue->issue window: a demand
+        // touch in between revived the block (the prediction was
+        // wrong), so spare it and let the policy pick the victim
+        // (which itself prefers other marked-dead ways).
+        Addr directed = req.predictedVictim;
+        if (config_.hier.l1d.policy == ReplPolicy::DeadBlock &&
+            directed != invalidAddr && !hier_.l1d().isDead(directed))
+            directed = invalidAddr;
+        const PrefetchOutcome out = hier_.prefetch(req.target, directed);
         if (out.alreadyInL1)
             return;
         inflight_.insert(block, complete);
@@ -240,7 +322,8 @@ TimingSim::purgeInflight(Cycle horizon)
         std::max<std::size_t>(64, 2 * inflight_.size());
 }
 
-template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc,
+          typename Policy>
 void
 TimingSim::stepImpl(const MemRef &ref, PredCursor &cur)
 {
@@ -251,8 +334,10 @@ TimingSim::stepImpl(const MemRef &ref, PredCursor &cur)
         ready = std::max(ready, cur.lastLoad);
 
     const Addr block = hier_.l1d().blockAlign(ref.addr);
-    const HierOutcome out = hier_.access<L1Assoc, L2Assoc>(ref.addr,
-                                                           ref.op);
+    if (config_.hier.modelWritebacks)
+        wbNow_ = ready; // eviction listeners fire inside access()
+    const HierOutcome out =
+        hier_.access<L1Assoc, L2Assoc, Policy>(ref.addr, ref.op);
     cur.accesses++;
 
     Cycle complete;
@@ -356,7 +441,7 @@ TimingSim::step(const MemRef &ref)
 {
     PredCursor cur;
     cur.lastLoad = lastLoadComplete_;
-    stepImpl<0, 0>(ref, cur);
+    stepImpl<0, 0, PolicyAuto>(ref, cur);
     commitPred(cur);
 }
 
@@ -367,7 +452,8 @@ TimingSim::step(const MemRef &ref)
  */
 constexpr std::size_t timingBatchRefs = 256;
 
-template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc,
+          typename Policy>
 std::uint64_t
 TimingSim::runBaselineLoop(TraceSource &src, std::uint64_t refs)
 {
@@ -402,12 +488,13 @@ TimingSim::runBaselineLoop(TraceSource &src, std::uint64_t refs)
                 ready = std::max(ready, last_load);
 
             Cycle complete;
-            if (l1.accessBaseline<L1Assoc>(ref.addr, ref.op, c1)) {
+            if (l1.accessBaseline<L1Assoc, Policy>(ref.addr, ref.op,
+                                                   c1)) {
                 complete = ready + l1_lat;
             } else {
                 l1_misses++;
-                const bool l2_hit =
-                    l2.accessBaseline<L2Assoc>(ref.addr, ref.op, c2);
+                const bool l2_hit = l2.accessBaseline<L2Assoc, Policy>(
+                    ref.addr, ref.op, c2);
                 if (!l2_hit)
                     l2_misses++;
                 const Addr block = l1.blockAlign(ref.addr);
@@ -451,17 +538,19 @@ TimingSim::runBaselineLoop(TraceSource &src, std::uint64_t refs)
 std::uint64_t
 TimingSim::runBaseline(TraceSource &src, std::uint64_t refs)
 {
-    // Dispatch once per run to a way-scan-unrolled instantiation for
-    // the geometries the experiments actually sweep; anything else
-    // takes the runtime-associativity loop (same semantics).
-    return dispatchByAssociativity(
-        hier_.l1d().config().assoc, hier_.l2().config().assoc,
-        [&](auto a1, auto a2) {
-            return runBaselineLoop<a1(), a2()>(src, refs);
+    // Dispatch once per run to a way-scan-unrolled, policy-inlined
+    // instantiation for the geometries the experiments actually
+    // sweep; anything else takes the runtime loop (same semantics).
+    return dispatchHierarchyKernel(
+        hier_.l1d().config(), hier_.l2().config(),
+        [&](auto a1, auto a2, auto pol) {
+            return runBaselineLoop<a1(), a2(), decltype(pol)>(src,
+                                                              refs);
         });
 }
 
-template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc,
+          typename Policy>
 std::uint64_t
 TimingSim::runPredictedLoop(TraceSource &src, std::uint64_t refs)
 {
@@ -478,7 +567,7 @@ TimingSim::runPredictedLoop(TraceSource &src, std::uint64_t refs)
             std::min<std::uint64_t>(refs - done, timingBatchRefs));
         const std::size_t got = src.fill({batch_.data(), want});
         for (std::size_t i = 0; i < got; i++)
-            stepImpl<L1Assoc, L2Assoc>(batch_[i], cur);
+            stepImpl<L1Assoc, L2Assoc, Policy>(batch_[i], cur);
         done += got;
         if (got < want)
             break; // end of trace
@@ -490,10 +579,11 @@ TimingSim::runPredictedLoop(TraceSource &src, std::uint64_t refs)
 std::uint64_t
 TimingSim::runPredicted(TraceSource &src, std::uint64_t refs)
 {
-    return dispatchByAssociativity(
-        hier_.l1d().config().assoc, hier_.l2().config().assoc,
-        [&](auto a1, auto a2) {
-            return runPredictedLoop<a1(), a2()>(src, refs);
+    return dispatchHierarchyKernel(
+        hier_.l1d().config(), hier_.l2().config(),
+        [&](auto a1, auto a2, auto pol) {
+            return runPredictedLoop<a1(), a2(), decltype(pol)>(src,
+                                                               refs);
         });
 }
 
@@ -507,8 +597,10 @@ TimingSim::run(TraceSource &src, std::uint64_t refs)
     // keeps it exact even if the caller injected prefetches by hand
     // (then lines may carry prefetched/meta state the kernel skips);
     // with no predictor the in-flight table and request queue are
-    // empty by construction.
+    // empty by construction. Writeback modelling needs the eviction
+    // listeners, which the trimmed kernel bypasses.
     if (pred_ == nullptr && !config_.hier.perfectL1 &&
+        !config_.hier.modelWritebacks &&
         hier_.l1d().prefetchFills() == 0 &&
         hier_.l2().prefetchFills() == 0) {
         const std::uint64_t done = runBaseline(src, refs);

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -132,10 +133,12 @@ class TimingSim : public CacheListener
     /** The MSHR file (test access: occupancy trajectory checks). */
     MshrFile &mshrs() { return mshrs_; }
 
-    /** CacheListener: L1D evictions -> prefetch usefulness feedback. */
+    /** CacheListener: L1D evictions -> prefetch usefulness feedback
+     *  and (under modelWritebacks) dirty-victim writebacks. */
     void onEviction(Addr victim_addr, Addr incoming_addr,
                     std::uint32_t set, bool by_prefetch,
                     bool victim_was_untouched_prefetch,
+                    bool victim_dirty,
                     std::uint8_t victim_meta) override;
 
     /**
@@ -167,8 +170,13 @@ class TimingSim : public CacheListener
      * scans and the (usually no-op) MSHR retire compare.
      */
     std::uint64_t runBaseline(TraceSource &src, std::uint64_t refs);
-    /** runBaseline's loop, specialized per cache associativity. */
-    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    /**
+     * runBaseline's loop, specialized per cache associativity and
+     * replacement policy (dispatchHierarchyKernel; the same contract
+     * for runPredictedLoop/stepImpl below).
+     */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc,
+              typename Policy>
     std::uint64_t runBaselineLoop(TraceSource &src,
                                   std::uint64_t refs);
 
@@ -193,11 +201,13 @@ class TimingSim : public CacheListener
 
     /**
      * The full per-reference event sequence — shared verbatim by the
-     * scalar step() (instantiated with runtime associativity) and the
-     * batched runPredictedLoop() (static associativity), so the two
-     * paths cannot diverge; the timing-equivalence suite pins it.
+     * scalar step() (instantiated with runtime associativity and
+     * PolicyAuto) and the batched runPredictedLoop() (static
+     * associativity and policy), so the two paths cannot diverge; the
+     * timing-equivalence suite pins it.
      */
-    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc,
+              typename Policy>
     void stepImpl(const MemRef &ref, PredCursor &cur);
 
     /** Fold a cursor back into the running statistics. */
@@ -215,8 +225,9 @@ class TimingSim : public CacheListener
 
     /** Batched predictor-run kernel (see PredCursor). */
     std::uint64_t runPredicted(TraceSource &src, std::uint64_t refs);
-    /** runPredicted's loop, specialized per cache associativity. */
-    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    /** runPredicted's loop, specialized per assoc and policy. */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc,
+              typename Policy>
     std::uint64_t runPredictedLoop(TraceSource &src,
                                    std::uint64_t refs);
 
@@ -332,6 +343,18 @@ class TimingSim : public CacheListener
     std::vector<MemRef> batch_;           //!< run() pull buffer
     std::vector<PrefetchRequest> reqBuf_; //!< predictor drain buffer
     std::vector<PrefetchFeedback> fbBuf_; //!< feedback batch buffer
+
+    /** Listener charging dirty L2 victims (modelWritebacks only). */
+    class L2WritebackListener;
+    std::unique_ptr<L2WritebackListener> l2Writeback_;
+    /**
+     * Cycle the current event's evictions happen at (the demand ready
+     * cycle in stepImpl, the issue slot in issuePrefetch): the
+     * eviction listener runs inside Cache::insert and needs a
+     * timestamp to occupy the writeback busses from. Only maintained
+     * under modelWritebacks.
+     */
+    Cycle wbNow_ = 0;
 
     // Per-run constants of the miss event path, hoisted out of the
     // per-event arithmetic: bus occupancies for the two transfer

@@ -29,11 +29,19 @@ class TraceEngine::L2Listener : public CacheListener
     void
     onEviction(Addr victim_addr, Addr incoming_addr, std::uint32_t set,
                bool by_prefetch, bool victim_was_untouched_prefetch,
-               std::uint8_t victim_meta) override
+               bool victim_dirty, std::uint8_t victim_meta) override
     {
         (void)incoming_addr;
         (void)set;
         (void)by_prefetch;
+        if (victim_dirty && owner_.hierConfig_.modelWritebacks) {
+            // A dirty L2 victim crosses the chip boundary on its way
+            // out. No early return: an L1 writeback (setDirty) can
+            // land on a still-untouched prefetched L2 line, and such
+            // a victim is both a writeback and a useless prefetch.
+            owner_.buckets_[owner_.current_].traffic.add(
+                Traffic::Writeback, owner_.hierConfig_.l2.lineBytes);
+        }
         if (!victim_was_untouched_prefetch)
             return;
         CoverageStats &s = owner_.buckets_[owner_.current_];
@@ -99,11 +107,23 @@ void
 TraceEngine::onEviction(Addr victim_addr, Addr incoming_addr,
                         std::uint32_t set, bool by_prefetch,
                         bool victim_was_untouched_prefetch,
-                        std::uint8_t victim_meta)
+                        bool victim_dirty, std::uint8_t victim_meta)
 {
     (void)incoming_addr;
     (void)set;
     CoverageStats &s = buckets_[current_];
+
+    if (victim_dirty && hierConfig_.modelWritebacks) {
+        // The dirty L1 victim writes back into L2 (on-chip, free);
+        // only when L2 no longer holds the block does the writeback
+        // go off chip. Dirty victims are never untouched prefetches
+        // (prefetches fill clean), so the classification below is
+        // unaffected.
+        if (!hier_.l2().setDirty(victim_addr)) {
+            s.traffic.add(Traffic::Writeback,
+                          hierConfig_.l1d.lineBytes);
+        }
+    }
 
     if (victim_was_untouched_prefetch) {
         // A prefetched block died unused: wrong replacement address.
@@ -134,6 +154,27 @@ TraceEngine::issuePrefetch(const PrefetchRequest &req)
 {
     CoverageStats &s = buckets_[current_];
     const Addr block = hier_.l1d().blockAlign(req.target);
+
+    // Under the dead-block-aware policy the prediction also feeds
+    // replacement: mark the predicted victim dead so LRU prefers it.
+    // (Both the scalar and batched paths issue through here, so the
+    // equivalence suites cover the mark by construction.) In this
+    // engine mark and fill are atomic — predictions drain every
+    // reference and LT-cords' (victim, replacement) pairs are
+    // same-set by construction — so the directed fill consumes the
+    // L1 mark immediately and L1 DeadBlock degenerates to LRU; the
+    // timing engine's enqueue->issue delay is where the L1 marks
+    // earn their keep (see TimingSim::issuePrefetch). The L2 mark
+    // below persists in both engines: a last touch is program-wide,
+    // so the victim's L2 copy is just as dead, and L2 recency (only
+    // updated on L1 misses) tracks death order poorly enough that
+    // the mark genuinely reorders L2 evictions.
+    if (req.predictedVictim != invalidAddr) {
+        if (hierConfig_.l1d.policy == ReplPolicy::DeadBlock)
+            hier_.l1d().markDead(req.predictedVictim);
+        if (hierConfig_.l2.policy == ReplPolicy::DeadBlock)
+            hier_.l2().markDead(req.predictedVictim);
+    }
 
     if (req.intoL1) {
         const PrefetchOutcome out =
@@ -238,7 +279,7 @@ TraceEngine::step(const MemRef &ref)
     }
 }
 
-template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc, typename Policy>
 std::uint64_t
 TraceEngine::runBaselineLoop(TraceSource &src, std::uint64_t refs)
 {
@@ -268,9 +309,11 @@ TraceEngine::runBaselineLoop(TraceSource &src, std::uint64_t refs)
         for (std::size_t i = 0; i < got; i++) {
             const MemRef &ref = batch_[i];
             instructions += 1 + ref.nonMemGap;
-            if (!l1.accessBaseline<L1Assoc>(ref.addr, ref.op, c1)) {
+            if (!l1.accessBaseline<L1Assoc, Policy>(ref.addr, ref.op,
+                                                    c1)) {
                 l1_misses++;
-                if (!l2.accessBaseline<L2Assoc>(ref.addr, ref.op, c2))
+                if (!l2.accessBaseline<L2Assoc, Policy>(ref.addr,
+                                                        ref.op, c2))
                     l2_misses++;
             }
         }
@@ -295,17 +338,19 @@ TraceEngine::runBaselineLoop(TraceSource &src, std::uint64_t refs)
 std::uint64_t
 TraceEngine::runBaseline(TraceSource &src, std::uint64_t refs)
 {
-    // Dispatch once per run to a way-scan-unrolled instantiation for
-    // the geometries the experiments actually sweep; anything else
-    // takes the runtime-associativity loop (same semantics).
-    return dispatchByAssociativity(
-        hier_.l1d().config().assoc, hier_.l2().config().assoc,
-        [&](auto a1, auto a2) {
-            return runBaselineLoop<a1(), a2()>(src, refs);
+    // Dispatch once per run to a way-scan-unrolled, policy-
+    // devirtualized instantiation for the geometries the experiments
+    // actually sweep; anything else takes the runtime loop (same
+    // semantics).
+    return dispatchHierarchyKernel(
+        hier_.l1d().config(), hier_.l2().config(),
+        [&](auto a1, auto a2, auto pol) {
+            return runBaselineLoop<a1(), a2(), decltype(pol)>(src,
+                                                              refs);
         });
 }
 
-template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc, typename Policy>
 std::uint64_t
 TraceEngine::runPredictedLoop(TraceSource &src, std::uint64_t refs)
 {
@@ -337,7 +382,8 @@ TraceEngine::runPredictedLoop(TraceSource &src, std::uint64_t refs)
             instructions += 1 + ref.nonMemGap;
 
             const HierOutcome out =
-                hier_.access<L1Assoc, L2Assoc>(ref.addr, ref.op);
+                hier_.access<L1Assoc, L2Assoc, Policy>(ref.addr,
+                                                       ref.op);
             const Addr block = l1.blockAlign(ref.addr);
 
             if (out.l1Hit()) {
@@ -397,10 +443,11 @@ TraceEngine::runPredictedLoop(TraceSource &src, std::uint64_t refs)
 std::uint64_t
 TraceEngine::runPredicted(TraceSource &src, std::uint64_t refs)
 {
-    return dispatchByAssociativity(
-        hier_.l1d().config().assoc, hier_.l2().config().assoc,
-        [&](auto a1, auto a2) {
-            return runPredictedLoop<a1(), a2()>(src, refs);
+    return dispatchHierarchyKernel(
+        hier_.l1d().config(), hier_.l2().config(),
+        [&](auto a1, auto a2, auto pol) {
+            return runPredictedLoop<a1(), a2(), decltype(pol)>(src,
+                                                               refs);
         });
 }
 
@@ -417,7 +464,7 @@ TraceEngine::runPredicted(TraceSource &src, std::uint64_t refs)
 // LTC_HOT_BEGIN: tools/ltc_lint.py bans hash maps, the modulo
 // operator and virtual declarations between these markers.
 
-template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc, typename Policy>
 std::uint64_t
 TraceEngine::runScheduleBaselineLoop(
     std::span<const ScheduleQuantum> schedule)
@@ -463,11 +510,11 @@ TraceEngine::runScheduleBaselineLoop(
             for (std::uint32_t i = t.pos; i < end; i++) {
                 const MemRef &ref = buf[i];
                 instructions += 1 + ref.nonMemGap;
-                if (!l1.accessBaseline<L1Assoc>(ref.addr, ref.op,
-                                                c1)) {
+                if (!l1.accessBaseline<L1Assoc, Policy>(ref.addr,
+                                                        ref.op, c1)) {
                     l1_misses++;
-                    if (!l2.accessBaseline<L2Assoc>(ref.addr, ref.op,
-                                                    c2))
+                    if (!l2.accessBaseline<L2Assoc, Policy>(
+                            ref.addr, ref.op, c2))
                         l2_misses++;
                 }
             }
@@ -493,7 +540,7 @@ TraceEngine::runScheduleBaselineLoop(
     return done;
 }
 
-template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+template <std::uint32_t L1Assoc, std::uint32_t L2Assoc, typename Policy>
 std::uint64_t
 TraceEngine::runSchedulePredictedLoop(
     std::span<const ScheduleQuantum> schedule)
@@ -534,7 +581,8 @@ TraceEngine::runSchedulePredictedLoop(
                 instructions += 1 + ref.nonMemGap;
 
                 const HierOutcome out =
-                    hier_.access<L1Assoc, L2Assoc>(ref.addr, ref.op);
+                    hier_.access<L1Assoc, L2Assoc, Policy>(ref.addr,
+                                                           ref.op);
                 const Addr block = l1.blockAlign(ref.addr);
 
                 if (out.l1Hit()) {
@@ -616,23 +664,29 @@ TraceEngine::runSchedule(std::span<TenantSlot> tenants,
         batch_.resize(engineBatchRefs);
 
     // Mirror run()'s kernel guard: the trimmed baseline kernel only
-    // when no prefetch state can exist, the predictor kernel whenever
-    // a predictor is attached, the exact scalar path otherwise
-    // (perfect L1, hand-injected fills).
+    // when no prefetch state can exist and writebacks are unmodeled
+    // (the kernel bypasses the eviction listeners that charge them),
+    // the predictor kernel whenever a predictor is attached, the
+    // exact scalar path otherwise (perfect L1, hand-injected fills,
+    // predictor-less writeback runs).
     std::uint64_t done = 0;
     if (pred_ == nullptr && !hierConfig_.perfectL1 &&
+        !hierConfig_.modelWritebacks &&
         hier_.l1d().prefetchFills() == 0 &&
         hier_.l2().prefetchFills() == 0) {
-        done = dispatchByAssociativity(
-            hier_.l1d().config().assoc, hier_.l2().config().assoc,
-            [&](auto a1, auto a2) {
-                return runScheduleBaselineLoop<a1(), a2()>(schedule);
+        done = dispatchHierarchyKernel(
+            hier_.l1d().config(), hier_.l2().config(),
+            [&](auto a1, auto a2, auto pol) {
+                return runScheduleBaselineLoop<a1(), a2(),
+                                               decltype(pol)>(schedule);
             });
     } else if (pred_ != nullptr) {
-        done = dispatchByAssociativity(
-            hier_.l1d().config().assoc, hier_.l2().config().assoc,
-            [&](auto a1, auto a2) {
-                return runSchedulePredictedLoop<a1(), a2()>(schedule);
+        done = dispatchHierarchyKernel(
+            hier_.l1d().config(), hier_.l2().config(),
+            [&](auto a1, auto a2, auto pol) {
+                return runSchedulePredictedLoop<a1(), a2(),
+                                                decltype(pol)>(
+                    schedule);
             });
     } else {
         for (const ScheduleQuantum &q : schedule) {
@@ -653,8 +707,11 @@ TraceEngine::run(TraceSource &src, std::uint64_t refs)
 
     // Baseline runs take the trimmed kernel. The prefetchFills guard
     // keeps it exact even if the caller injected prefetches by hand
-    // (then lines may carry prefetched/meta state the kernel skips).
+    // (then lines may carry prefetched/meta state the kernel skips);
+    // the modelWritebacks guard keeps dirty evictions flowing through
+    // the listeners that charge them (scalar path below).
     if (pred_ == nullptr && !hierConfig_.perfectL1 &&
+        !hierConfig_.modelWritebacks &&
         hier_.l1d().prefetchFills() == 0 &&
         hier_.l2().prefetchFills() == 0) {
         const std::uint64_t done = runBaseline(src, refs);

@@ -189,6 +189,7 @@ class TraceEngine : public CacheListener
     void onEviction(Addr victim_addr, Addr incoming_addr,
                     std::uint32_t set, bool by_prefetch,
                     bool victim_was_untouched_prefetch,
+                    bool victim_dirty,
                     std::uint8_t victim_meta) override;
 
     /**
@@ -240,8 +241,13 @@ class TraceEngine : public CacheListener
     }
     /** Trimmed kernel for predictor-less runs (see run()). */
     std::uint64_t runBaseline(TraceSource &src, std::uint64_t refs);
-    /** runBaseline's loop, specialized per cache associativity. */
-    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    /**
+     * runBaseline's loop, specialized per cache associativity and
+     * replacement policy (dispatchHierarchyKernel; the same contract
+     * for every batched kernel below).
+     */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc,
+              typename Policy>
     std::uint64_t runBaselineLoop(TraceSource &src,
                                   std::uint64_t refs);
     /**
@@ -255,8 +261,9 @@ class TraceEngine : public CacheListener
      * runBaselineLoop.
      */
     std::uint64_t runPredicted(TraceSource &src, std::uint64_t refs);
-    /** runPredicted's loop, specialized per cache associativity. */
-    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    /** runPredicted's loop, specialized per assoc and policy. */
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc,
+              typename Policy>
     std::uint64_t runPredictedLoop(TraceSource &src,
                                    std::uint64_t refs);
 
@@ -275,11 +282,13 @@ class TraceEngine : public CacheListener
         std::uint32_t fill = 0; //!< valid records in the buffer
     };
     /** runSchedule's baseline kernel (see runBaselineLoop). */
-    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc,
+              typename Policy>
     std::uint64_t
     runScheduleBaselineLoop(std::span<const ScheduleQuantum> schedule);
     /** runSchedule's predictor kernel (see runPredictedLoop). */
-    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc>
+    template <std::uint32_t L1Assoc, std::uint32_t L2Assoc,
+              typename Policy>
     std::uint64_t
     runSchedulePredictedLoop(std::span<const ScheduleQuantum> schedule);
 

@@ -308,14 +308,15 @@ expectSameCoverage(const CoverageStats &a, const CoverageStats &b)
 
 /** Engine-level property: run() == manual next()+step() loop. */
 void
-checkTraceEngine(const std::string &pred_name)
+checkTraceEngine(const std::string &pred_name,
+                 const HierarchyConfig &hc = paperHierarchy(),
+                 std::uint64_t refs = 120'000)
 {
     SCOPED_TRACE(pred_name);
-    const std::uint64_t refs = 120'000;
 
     auto src_batch = makeWorkload("mcf");
-    auto pred_batch = makePredictor(pred_name, paperHierarchy());
-    TraceEngine batched(paperHierarchy(), pred_batch.get());
+    auto pred_batch = makePredictor(pred_name, hc);
+    TraceEngine batched(hc, pred_batch.get());
     // Split the budget over several run() calls so batch remainders
     // and re-entry are covered too.
     std::uint64_t done = 0;
@@ -325,8 +326,8 @@ checkTraceEngine(const std::string &pred_name)
     ASSERT_EQ(done, refs);
 
     auto src_scalar = makeWorkload("mcf");
-    auto pred_scalar = makePredictor(pred_name, paperHierarchy());
-    TraceEngine scalar(paperHierarchy(), pred_scalar.get());
+    auto pred_scalar = makePredictor(pred_name, hc);
+    TraceEngine scalar(hc, pred_scalar.get());
     MemRef ref;
     for (std::uint64_t i = 0; i < refs; i++) {
         ASSERT_TRUE(src_scalar->next(ref));
@@ -363,6 +364,33 @@ TEST(BatchEquivalence, TraceEngineWithPredictors)
     checkTraceEngine("lt-cords");
     checkTraceEngine("ghb");
     checkTraceEngine("dbcp");
+}
+
+TEST(BatchEquivalence, TraceEngineReplacementPolicies)
+{
+    // Every policy plugin, through both the trimmed baseline kernel
+    // ("none") and the full predicted kernel. Random's per-conflict
+    // RNG draw order and DeadBlock's markDead wiring are part of the
+    // batched/scalar contract.
+    for (const ReplPolicy p : allReplPolicies) {
+        SCOPED_TRACE(replPolicyName(p));
+        HierarchyConfig hc = paperHierarchy();
+        hc.l1d.policy = p;
+        hc.l2.policy = p;
+        checkTraceEngine("none", hc, 60'000);
+        checkTraceEngine("lt-cords", hc, 60'000);
+    }
+}
+
+TEST(BatchEquivalence, TraceEngineWritebackModelling)
+{
+    // modelWritebacks disables the trimmed baseline kernel (its
+    // listeners are bypassed there); the general kernel must carry
+    // the writeback charges identically on both paths.
+    HierarchyConfig hc = paperHierarchy();
+    hc.modelWritebacks = true;
+    checkTraceEngine("none", hc, 60'000);
+    checkTraceEngine("lt-cords", hc, 60'000);
 }
 
 TEST(BatchEquivalence, TimingEngineMatchesScalar)

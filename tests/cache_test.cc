@@ -39,17 +39,18 @@ struct Recorder : CacheListener
         std::uint32_t set;
         bool byPrefetch;
         bool victimUntouched;
+        bool victimDirty;
         std::uint8_t victimMeta;
     };
     std::vector<Event> events;
 
     void
     onEviction(Addr victim, Addr incoming, std::uint32_t set,
-               bool by_prefetch, bool untouched,
+               bool by_prefetch, bool untouched, bool dirty,
                std::uint8_t victim_meta) override
     {
         events.push_back({victim, incoming, set, by_prefetch,
-                          untouched, victim_meta});
+                          untouched, dirty, victim_meta});
     }
 };
 
@@ -80,6 +81,12 @@ TEST(CacheConfigTest, PolicyNames)
     EXPECT_STREQ(replPolicyName(ReplPolicy::LRU), "LRU");
     EXPECT_STREQ(replPolicyName(ReplPolicy::FIFO), "FIFO");
     EXPECT_STREQ(replPolicyName(ReplPolicy::Random), "Random");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::RRIP), "RRIP");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::DRRIP), "DRRIP");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::SHiP), "SHiP");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::DeadBlock), "DeadBlock");
+    // The canonical sweep order covers every policy exactly once.
+    EXPECT_EQ(std::size(allReplPolicies), 7u);
 }
 
 TEST(CacheTest, MissThenHit)
@@ -137,6 +144,94 @@ TEST(CacheTest, RandomPolicyEvictsValidWay)
     for (Addr a = 0; a < 100; a++)
         c.access(a * 1024, MemOp::Load);
     SUCCEED();
+}
+
+TEST(CacheTest, RripEvictsDistantBeforeRecent)
+{
+    Cache c(tinyConfig(2, ReplPolicy::RRIP));
+    c.access(0x0000, MemOp::Load); // A: inserted long (RRPV 2)
+    c.access(0x0100, MemOp::Load); // B: inserted long (RRPV 2)
+    c.access(0x0000, MemOp::Load); // hit promotes A to RRPV 0
+    // Conflict: no way is distant, so both age until B reaches 3.
+    auto out = c.access(0x0200, MemOp::Load);
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.victimAddr, 0x0100u);
+    EXPECT_TRUE(c.probe(0x0000));
+}
+
+TEST(CacheTest, DeadBlockPrefersMarkedVictim)
+{
+    Cache c(tinyConfig(2, ReplPolicy::DeadBlock));
+    c.access(0x0000, MemOp::Load); // A: the LRU way
+    c.access(0x0100, MemOp::Load); // B: more recent
+    EXPECT_TRUE(c.markDead(0x0100));
+    auto out = c.access(0x0200, MemOp::Load);
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.victimAddr, 0x0100u) << "dead mark must override LRU";
+    // A re-touch clears the mark: back to plain LRU order.
+    c.access(0x0000, MemOp::Load);
+    EXPECT_TRUE(c.markDead(0x0000));
+    c.access(0x0000, MemOp::Load); // touching the block revives it
+    auto out2 = c.access(0x0300, MemOp::Load);
+    EXPECT_TRUE(out2.evicted);
+    EXPECT_EQ(out2.victimAddr, 0x0200u);
+}
+
+TEST(CacheTest, MarkDeadOnAbsentBlockIsFalse)
+{
+    Cache c(tinyConfig(2, ReplPolicy::DeadBlock));
+    EXPECT_FALSE(c.markDead(0x0000));
+    c.access(0x0000, MemOp::Load);
+    EXPECT_TRUE(c.markDead(0x0000));
+}
+
+TEST(CacheTest, ShipAndDrripSweepNeverCorruptState)
+{
+    // Behavioural pin for the table-backed policies: full pressure
+    // sweep with hits mixed in, then the invariant audit (which
+    // checks SHCT bounds, PSEL bounds and per-policy forbidden bits)
+    // must pass.
+    for (const ReplPolicy p : {ReplPolicy::SHiP, ReplPolicy::DRRIP}) {
+        Cache c(tinyConfig(4, p));
+        for (Addr a = 0; a < 4000; a++)
+            c.access((a % 97) * 64 * ((a & 1) + 1),
+                     (a % 5) ? MemOp::Load : MemOp::Store);
+        c.auditInvariants();
+        EXPECT_EQ(c.accesses(), 4000u);
+    }
+}
+
+TEST(CacheTest, VictimDirtySurfacedOnEviction)
+{
+    Cache c(tinyConfig());
+    Recorder rec;
+    c.setListener(&rec);
+    c.access(0x0000, MemOp::Store); // A, dirtied
+    c.access(0x0100, MemOp::Load);  // B, clean
+    auto out = c.access(0x0200, MemOp::Load); // evicts dirty A
+    EXPECT_TRUE(out.evicted);
+    EXPECT_TRUE(out.victimDirty);
+    auto out2 = c.access(0x0300, MemOp::Load); // evicts clean B
+    EXPECT_TRUE(out2.evicted);
+    EXPECT_FALSE(out2.victimDirty);
+    ASSERT_EQ(rec.events.size(), 2u);
+    EXPECT_TRUE(rec.events[0].victimDirty);
+    EXPECT_FALSE(rec.events[1].victimDirty);
+    c.setListener(nullptr);
+}
+
+TEST(CacheTest, SetDirtyMarksResidentBlocksOnly)
+{
+    Cache c(tinyConfig());
+    EXPECT_FALSE(c.setDirty(0x0000));
+    c.access(0x0000, MemOp::Load);
+    EXPECT_TRUE(c.setDirty(0x0000));
+    // The externally-set dirty bit surfaces at eviction.
+    c.access(0x0100, MemOp::Load);
+    auto out = c.access(0x0200, MemOp::Load);
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.victimAddr, 0x0000u);
+    EXPECT_TRUE(out.victimDirty);
 }
 
 TEST(CacheTest, ListenerSeesEvictions)

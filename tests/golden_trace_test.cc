@@ -252,6 +252,68 @@ const Fig11ScaleGolden kFig11ScaleGolden[] = {
     {8, 8, 7, 127998, 109098, 18901, 2},
 };
 
+/**
+ * Writeback-mode expectations (exact): pins the modelWritebacks knob
+ * end to end on a store-heavy stream whose 2 MB footprint overflows
+ * the 1 MB L2, so dirty L2 victims actually leave the chip. One row
+ * per engine; the off-mode is pinned by every other golden in this
+ * file (the knob defaults off and the Writeback class stays zero).
+ */
+struct WritebackGolden
+{
+    std::uint64_t traceL1Misses;   //!< trace engine, lt-cords
+    std::uint64_t traceCorrect;
+    std::uint64_t traceWbBytes;    //!< Traffic::Writeback (trace)
+    std::uint64_t timingCycles;    //!< timing engine, lt-cords
+    std::uint64_t timingL2Misses;
+    std::uint64_t timingWbBytes;   //!< Traffic::Writeback (timing)
+    std::uint64_t timingMemBusBusy;
+};
+
+const WritebackGolden kWritebackGolden = {
+    32768, 0, 1048576, 442601, 32768, 1048576, 731136,
+};
+
+/**
+ * Per-policy baseline expectations (exact): the trace engine with no
+ * predictor over the interleave fixture, one row per replacement
+ * policy. Pins every plugin's victim selection bit-for-bit — and
+ * documents that DeadBlock with no predictions degenerates to LRU.
+ * On this fixture the 2-way L1 makes the deterministic orderings
+ * (FIFO/RRIP/DRRIP/SHiP) coincide with LRU; Random is the row that
+ * proves victim selection actually flows through the plugin.
+ */
+struct PolicyGolden
+{
+    ReplPolicy policy;
+    std::uint64_t l1Misses;
+    std::uint64_t l2Misses;
+};
+
+const PolicyGolden kPolicyGolden[] = {
+    {ReplPolicy::LRU, 23406, 4096},
+    {ReplPolicy::FIFO, 23406, 4096},
+    {ReplPolicy::Random, 22356, 4096},
+    {ReplPolicy::RRIP, 23406, 4096},
+    {ReplPolicy::DRRIP, 23406, 4096},
+    {ReplPolicy::SHiP, 23406, 4096},
+    {ReplPolicy::DeadBlock, 23406, 4096},
+};
+
+/** Store-heavy scan whose footprint (2 MB) overflows the 1 MB L2. */
+std::unique_ptr<TraceSource>
+buildStoreScan()
+{
+    ScanArray a;
+    a.base = 0x5000000;
+    a.blocks = 32768;
+    a.accessesPerBlock = 2;
+    a.stores = true;
+    a.pc = 0x5000;
+    return std::make_unique<StridedScanSource>(
+        std::vector<ScanArray>{a}, /*non_mem_gap=*/3, "golden.store");
+}
+
 bool
 printMode()
 {
@@ -439,6 +501,74 @@ TEST(GoldenTimingEngine, BaselineMetricsMatchExactly)
         EXPECT_EQ(s.memBusBusy, g.memBusBusy);
         EXPECT_EQ(s.traffic.bytes(Traffic::BaseData), g.baseBytes);
         EXPECT_EQ(s.accesses, trace.size());
+    }
+}
+
+TEST(GoldenWriteback, OnModeMetricsMatchExactly)
+{
+    const std::uint64_t refs = 2 * 32768;
+
+    HierarchyConfig hc = paperHierarchy();
+    hc.modelWritebacks = true;
+    auto src_t = buildStoreScan();
+    auto pred_t = makePredictor("lt-cords", hc);
+    const CoverageStats ts =
+        runWithOpportunity(hc, pred_t.get(), *src_t, refs);
+
+    TimingConfig tc = paperTiming();
+    tc.hier.modelWritebacks = true;
+    auto src_c = buildStoreScan();
+    auto pred_c = makePredictor("lt-cords", tc.hier,
+                                /*model_stream_latency=*/true);
+    TimingSim sim(tc, pred_c.get());
+    sim.run(*src_c, refs);
+    const TimingStats cs = sim.stats();
+
+    if (printMode()) {
+        std::printf("    %llu, %llu, %llu, %llu, %llu, %llu, %llu,\n",
+                    static_cast<unsigned long long>(ts.l1Misses),
+                    static_cast<unsigned long long>(ts.correct),
+                    static_cast<unsigned long long>(
+                        ts.traffic.bytes(Traffic::Writeback)),
+                    static_cast<unsigned long long>(cs.cycles),
+                    static_cast<unsigned long long>(cs.l2Misses),
+                    static_cast<unsigned long long>(
+                        cs.traffic.bytes(Traffic::Writeback)),
+                    static_cast<unsigned long long>(cs.memBusBusy));
+        return;
+    }
+    const WritebackGolden &g = kWritebackGolden;
+    EXPECT_GT(ts.traffic.bytes(Traffic::Writeback), 0u);
+    EXPECT_GT(cs.traffic.bytes(Traffic::Writeback), 0u);
+    EXPECT_EQ(ts.l1Misses, g.traceL1Misses);
+    EXPECT_EQ(ts.correct, g.traceCorrect);
+    EXPECT_EQ(ts.traffic.bytes(Traffic::Writeback), g.traceWbBytes);
+    EXPECT_EQ(cs.cycles, g.timingCycles);
+    EXPECT_EQ(cs.l2Misses, g.timingL2Misses);
+    EXPECT_EQ(cs.traffic.bytes(Traffic::Writeback), g.timingWbBytes);
+    EXPECT_EQ(cs.memBusBusy, g.timingMemBusBusy);
+}
+
+TEST(AblationPolicyGolden, BaselineMissCountsMatchExactly)
+{
+    for (const PolicyGolden &g : kPolicyGolden) {
+        SCOPED_TRACE(replPolicyName(g.policy));
+        HierarchyConfig hc = paperHierarchy();
+        hc.l1d.policy = g.policy;
+        hc.l2.policy = g.policy;
+        FileTrace trace(dataPath("interleave.ltct"));
+        TraceEngine engine(hc, nullptr);
+        engine.run(trace, trace.size());
+        const CoverageStats &s = engine.stats();
+        if (printMode()) {
+            std::printf("    {ReplPolicy::%s, %llu, %llu},\n",
+                        replPolicyName(g.policy),
+                        static_cast<unsigned long long>(s.l1Misses),
+                        static_cast<unsigned long long>(s.l2Misses));
+            continue;
+        }
+        EXPECT_EQ(s.l1Misses, g.l1Misses);
+        EXPECT_EQ(s.l2Misses, g.l2Misses);
     }
 }
 

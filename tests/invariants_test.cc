@@ -48,13 +48,15 @@ struct TestPeer
 {
     // ----------------------------------------------------- Cache
 
-    /** Set a reserved tag-word bit on the first valid line. */
+    /** Set a foreign-policy tag-word bit on the first valid line. */
     static void
     clobberTagWord(Cache &c)
     {
         for (std::uint64_t &tf : c.tagFlags_) {
-            if (tf & Cache::lineValid) {
-                tf |= std::uint64_t{1} << 5; // reserved: above meta
+            if (tf & lineValid) {
+                // Bit 5 is the bottom of the policy field — an RRPV
+                // bit, forbidden under the LRU default.
+                tf |= std::uint64_t{1} << 5;
                 return;
             }
         }
@@ -66,8 +68,8 @@ struct TestPeer
     migrateLineToForeignSet(Cache &c)
     {
         for (std::uint64_t &tf : c.tagFlags_) {
-            if (tf & Cache::lineValid) {
-                tf ^= std::uint64_t{1} << Cache::tagShift;
+            if (tf & lineValid) {
+                tf ^= std::uint64_t{1} << tagShift;
                 return;
             }
         }
@@ -79,7 +81,7 @@ struct TestPeer
     runawayStamp(Cache &c)
     {
         for (std::size_t i = 0; i < c.tagFlags_.size(); i++) {
-            if (c.tagFlags_[i] & Cache::lineValid) {
+            if (c.tagFlags_[i] & lineValid) {
                 c.stamps_[i] = c.stamp_ + 1;
                 return;
             }

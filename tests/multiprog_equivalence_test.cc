@@ -187,6 +187,39 @@ TEST(MultiProgEquivalence, ThousandTenants)
     checkSchedule("lt-cords", tenants, schedule, paperHierarchy());
 }
 
+TEST(MultiProgEquivalence, ReplacementPolicySweep)
+{
+    // Every policy plugin through the hoisted multi-tenant kernels —
+    // the schedule kernels dispatch on (assoc, policy) exactly like
+    // run(), so Random's draw order and DeadBlock's mark wiring must
+    // survive the quantum hoisting too.
+    const auto schedule =
+        makeSchedule(4, /*quantum=*/600, /*switches=*/17,
+                     /*churn_seed=*/3);
+    for (const ReplPolicy p : allReplPolicies) {
+        SCOPED_TRACE(replPolicyName(p));
+        HierarchyConfig hc = paperHierarchy();
+        hc.l1d.policy = p;
+        hc.l2.policy = p;
+        checkSchedule("none", 4, schedule, hc);
+        checkSchedule("lt-cords", 4, schedule, hc);
+    }
+}
+
+TEST(MultiProgEquivalence, WritebackModelling)
+{
+    // modelWritebacks forces the schedule kernels off the trimmed
+    // baseline path; both predictor-less and predicted runs must
+    // still match the scalar loop event-for-event.
+    HierarchyConfig hc = paperHierarchy();
+    hc.modelWritebacks = true;
+    const auto schedule =
+        makeSchedule(4, /*quantum=*/600, /*switches=*/17,
+                     /*churn_seed=*/0);
+    checkSchedule("none", 4, schedule, hc);
+    checkSchedule("lt-cords", 4, schedule, hc);
+}
+
 TEST(MultiProgEquivalence, OffDispatchGeometry)
 {
     // Associativities outside the static dispatch table take the

@@ -22,6 +22,7 @@
 
 #include "sim/experiment.hh"
 #include "sim/timing_engine.hh"
+#include "trace/primitives.hh"
 #include "trace/trace.hh"
 #include "trace/workloads.hh"
 
@@ -142,20 +143,22 @@ expectSameMachineState(TimingSim &a, TimingSim &b)
 }
 
 /**
- * Drive one (workload, predictor, machine) cell through both paths
+ * Drive one (workload, predictor, config) cell through both paths
  * and compare everything. The batched side splits its budget over
  * several run() calls so batch remainders and re-entry are covered.
  */
 void
-checkCell(const std::string &workload, const std::string &pred_name,
-          const MachineCase &machine, std::uint64_t refs)
+checkCellConfig(const std::string &workload,
+                const std::string &pred_name,
+                const std::string &label, const TimingConfig &cfg,
+                std::uint64_t refs)
 {
-    SCOPED_TRACE(workload + "/" + pred_name + "/" + machine.name);
+    SCOPED_TRACE(workload + "/" + pred_name + "/" + label);
 
     auto src_batch = makeWorkload(workload);
-    auto pred_batch = makePredictor(pred_name, machine.make().hier,
+    auto pred_batch = makePredictor(pred_name, cfg.hier,
                                     /*model_stream_latency=*/true);
-    TimingSim batched(machine.make(), pred_batch.get());
+    TimingSim batched(cfg, pred_batch.get());
     std::uint64_t done = 0;
     done += batched.run(*src_batch, refs / 2);
     done += batched.run(*src_batch, 1);
@@ -163,9 +166,9 @@ checkCell(const std::string &workload, const std::string &pred_name,
     ASSERT_EQ(done, refs);
 
     auto src_scalar = makeWorkload(workload);
-    auto pred_scalar = makePredictor(pred_name, machine.make().hier,
+    auto pred_scalar = makePredictor(pred_name, cfg.hier,
                                      /*model_stream_latency=*/true);
-    TimingSim scalar(machine.make(), pred_scalar.get());
+    TimingSim scalar(cfg, pred_scalar.get());
     MemRef ref;
     for (std::uint64_t i = 0; i < refs; i++) {
         ASSERT_TRUE(src_scalar->next(ref));
@@ -174,6 +177,14 @@ checkCell(const std::string &workload, const std::string &pred_name,
 
     expectSameTiming(batched.stats(), scalar.stats());
     expectSameMachineState(batched, scalar);
+}
+
+void
+checkCell(const std::string &workload, const std::string &pred_name,
+          const MachineCase &machine, std::uint64_t refs)
+{
+    checkCellConfig(workload, pred_name, machine.name, machine.make(),
+                    refs);
 }
 
 // ------------------------------------------------------------ tests
@@ -347,6 +358,74 @@ TEST(TimingEquivalence, EvictionKeepsPendingFillAndFiltersDuplicates)
 
     expectSameTiming(batched.stats(), scalar.stats());
     expectSameMachineState(batched, scalar);
+}
+
+/**
+ * Every replacement-policy plugin must keep the batched kernels
+ * (static associativity, policy inlined) equal to the scalar step()
+ * path — including Random, whose RNG draw order is part of the
+ * contract, and DeadBlock, whose markDead wiring is shared by both
+ * paths through enqueuePrefetch.
+ */
+TEST(TimingEquivalence, ReplacementPolicySweep)
+{
+    for (const ReplPolicy p : allReplPolicies) {
+        TimingConfig c;
+        c.hier.l1d.policy = p;
+        c.hier.l2.policy = p;
+        checkCellConfig("mcf", "none", replPolicyName(p), c, 20'000);
+        checkCellConfig("em3d", "lt-cords", replPolicyName(p), c,
+                        20'000);
+    }
+}
+
+/** Different L1/L2 policies take the PolicyAuto kernel; must agree. */
+TEST(TimingEquivalence, MixedPolicyHierarchy)
+{
+    TimingConfig c;
+    c.hier.l2.policy = ReplPolicy::RRIP; // L1 stays LRU
+    checkCellConfig("gzip", "lt-cords", "lru+rrip", c, 20'000);
+}
+
+/**
+ * modelWritebacks adds eviction-driven bus events inside access();
+ * the batched kernel must schedule them identically, and the
+ * baseline fast path (which bypasses listeners) must stand down.
+ */
+TEST(TimingEquivalence, WritebackModelling)
+{
+    TimingConfig c;
+    c.hier.modelWritebacks = true;
+    checkCellConfig("gzip", "none", "writebacks", c, 20'000);
+    checkCellConfig("mcf", "lt-cords", "writebacks", c, 20'000);
+}
+
+/**
+ * The dirty bit must actually reach the bus: a store-heavy stream
+ * whose footprint overflows L2 produces nonzero Writeback traffic
+ * when the knob is on, and exactly zero when it is off (the default
+ * — existing goldens depend on it).
+ */
+TEST(TimingEquivalence, WritebackTrafficNonzeroOnlyWhenEnabled)
+{
+    ScanArray a;
+    a.base = 0x5000000;
+    a.blocks = 32768; // 2 MB of 64 B blocks: overflows the 1 MB L2
+    a.accessesPerBlock = 2;
+    a.stores = true;
+    const std::uint64_t refs = 2 * 32768;
+
+    TimingConfig on;
+    on.hier.modelWritebacks = true;
+    StridedScanSource src_on({a}, 3);
+    TimingSim sim_on(on, nullptr);
+    sim_on.run(src_on, refs);
+    EXPECT_GT(sim_on.stats().traffic.bytes(Traffic::Writeback), 0u);
+
+    StridedScanSource src_off({a}, 3);
+    TimingSim sim_off(TimingConfig{}, nullptr);
+    sim_off.run(src_off, refs);
+    EXPECT_EQ(sim_off.stats().traffic.bytes(Traffic::Writeback), 0u);
 }
 
 /** run() must never pull more records than its budget. */
